@@ -1,0 +1,416 @@
+//! AIGER format I/O (ASCII `aag` and binary `aig`, combinational subset).
+//!
+//! The AIGER format (Biere, 2006) is the de-facto interchange format for
+//! AIGs and the input format of the paper's benchmark instances. Latches are
+//! rejected: the framework targets combinational CSAT instances.
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Errors produced while parsing AIGER files.
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed header or body with a human-readable description.
+    Malformed(String),
+    /// The file contains latches, which are not supported.
+    Sequential,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Io(e) => write!(f, "i/o error while reading aiger: {e}"),
+            ParseAigerError::Malformed(m) => write!(f, "malformed aiger file: {m}"),
+            ParseAigerError::Sequential => write!(f, "sequential aiger files are not supported"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseAigerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseAigerError {
+    fn from(e: io::Error) -> Self {
+        ParseAigerError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ParseAigerError {
+    ParseAigerError::Malformed(msg.into())
+}
+
+/// Reads an ASCII AIGER (`aag`) file.
+///
+/// # Errors
+/// Returns [`ParseAigerError`] on I/O failure, malformed input, or if the
+/// file declares latches.
+pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("aag") {
+        return Err(malformed("expected 'aag' magic"));
+    }
+    let nums: Vec<u32> = parts
+        .map(|p| p.parse().map_err(|_| malformed("non-numeric header field")))
+        .collect::<Result<_, _>>()?;
+    if nums.len() < 5 {
+        return Err(malformed("header needs five fields M I L O A"));
+    }
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return Err(ParseAigerError::Sequential);
+    }
+    if m < i + a {
+        return Err(malformed("M smaller than I + A"));
+    }
+
+    let mut lines = reader.lines();
+    let mut next_line = || -> Result<String, ParseAigerError> {
+        lines
+            .next()
+            .ok_or_else(|| malformed("unexpected end of file"))?
+            .map_err(ParseAigerError::Io)
+    };
+
+    // AIGER var -> our literal.
+    let mut map: Vec<Option<Lit>> = vec![None; m as usize + 1];
+    map[0] = Some(Lit::FALSE);
+    let mut g = Aig::with_capacity(m as usize + 1);
+
+    let mut pi_vars = Vec::with_capacity(i as usize);
+    for _ in 0..i {
+        let line = next_line()?;
+        let lit: u32 = line.trim().parse().map_err(|_| malformed("bad input literal"))?;
+        if lit % 2 != 0 || lit == 0 {
+            return Err(malformed("input literal must be positive and even"));
+        }
+        pi_vars.push(lit / 2);
+    }
+    for &v in &pi_vars {
+        if map[v as usize].is_some() {
+            return Err(malformed("duplicate variable definition"));
+        }
+        map[v as usize] = Some(g.add_pi());
+    }
+
+    let mut po_lits = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let line = next_line()?;
+        let lit: u32 = line.trim().parse().map_err(|_| malformed("bad output literal"))?;
+        po_lits.push(lit);
+    }
+
+    // AND definitions may reference later definitions in pathological files;
+    // standard AIGER requires lhs > rhs, so a single pass suffices and we
+    // reject forward references.
+    for _ in 0..a {
+        let line = next_line()?;
+        let mut it = line.split_whitespace();
+        let mut field = || -> Result<u32, ParseAigerError> {
+            it.next().ok_or_else(|| malformed("and line too short"))?.parse().map_err(|_| malformed("bad and literal"))
+        };
+        let (lhs, rhs0, rhs1) = (field()?, field()?, field()?);
+        if lhs % 2 != 0 || lhs == 0 {
+            return Err(malformed("and lhs must be positive and even"));
+        }
+        let v = lhs / 2;
+        if v as usize >= map.len() || map[v as usize].is_some() {
+            return Err(malformed("and lhs redefined or out of range"));
+        }
+        let lookup = |raw: u32, map: &[Option<Lit>]| -> Result<Lit, ParseAigerError> {
+            let var = raw / 2;
+            let base = map
+                .get(var as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| malformed(format!("reference to undefined variable {var}")))?;
+            Ok(base.xor_compl(raw % 2 == 1))
+        };
+        let f0 = lookup(rhs0, &map)?;
+        let f1 = lookup(rhs1, &map)?;
+        map[v as usize] = Some(g.and(f0, f1));
+    }
+
+    for raw in po_lits {
+        let var = raw / 2;
+        let base = map
+            .get(var as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| malformed(format!("output references undefined variable {var}")))?;
+        g.add_po(base.xor_compl(raw % 2 == 1));
+    }
+    Ok(g)
+}
+
+/// Writes the graph in ASCII AIGER (`aag`) format.
+///
+/// Nodes are renumbered densely: PIs get AIGER variables `1..=I`, AND gates
+/// follow in topological order.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_aag<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let renum = renumber(aig);
+    let i = aig.num_pis() as u32;
+    let a = aig.num_ands() as u32;
+    let m = i + a;
+    writeln!(w, "aag {m} {i} 0 {} {a}", aig.num_pos())?;
+    for k in 0..aig.num_pis() {
+        writeln!(w, "{}", 2 * (k as u32 + 1))?;
+    }
+    for po in aig.pos() {
+        writeln!(w, "{}", encode(&renum, *po))?;
+    }
+    for v in aig.iter_ands() {
+        let n = aig.node(v);
+        writeln!(
+            w,
+            "{} {} {}",
+            2 * renum[v as usize],
+            encode(&renum, n.fanin0()),
+            encode(&renum, n.fanin1())
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the graph in binary AIGER (`aig`) format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_aig_binary<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let renum = renumber(aig);
+    let i = aig.num_pis() as u32;
+    let a = aig.num_ands() as u32;
+    let m = i + a;
+    writeln!(w, "aig {m} {i} 0 {} {a}", aig.num_pos())?;
+    for po in aig.pos() {
+        writeln!(w, "{}", encode(&renum, *po))?;
+    }
+    for v in aig.iter_ands() {
+        let n = aig.node(v);
+        let lhs = 2 * renum[v as usize];
+        let mut r0 = encode(&renum, n.fanin0());
+        let mut r1 = encode(&renum, n.fanin1());
+        if r0 < r1 {
+            std::mem::swap(&mut r0, &mut r1);
+        }
+        debug_assert!(lhs > r0 && r0 >= r1);
+        write_delta(&mut w, lhs - r0)?;
+        write_delta(&mut w, r0 - r1)?;
+    }
+    Ok(())
+}
+
+/// Reads a binary AIGER (`aig`) file.
+///
+/// # Errors
+/// Returns [`ParseAigerError`] on I/O failure, malformed input, or latches.
+pub fn read_aig_binary<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("aig") {
+        return Err(malformed("expected 'aig' magic"));
+    }
+    let nums: Vec<u32> = parts
+        .map(|p| p.parse().map_err(|_| malformed("non-numeric header field")))
+        .collect::<Result<_, _>>()?;
+    if nums.len() < 5 {
+        return Err(malformed("header needs five fields M I L O A"));
+    }
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return Err(ParseAigerError::Sequential);
+    }
+    if m != i + a {
+        return Err(malformed("binary aiger requires M = I + A"));
+    }
+    let mut po_lits = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        po_lits.push(line.trim().parse::<u32>().map_err(|_| malformed("bad output literal"))?);
+    }
+    let mut g = Aig::with_capacity(m as usize + 1);
+    let mut map: Vec<Lit> = Vec::with_capacity(m as usize + 1);
+    map.push(Lit::FALSE);
+    for _ in 0..i {
+        map.push(g.add_pi());
+    }
+    for k in 0..a {
+        let lhs = 2 * (i + k + 1);
+        let d0 = read_delta(&mut reader)?;
+        let d1 = read_delta(&mut reader)?;
+        let r0 = lhs.checked_sub(d0).ok_or_else(|| malformed("delta underflow"))?;
+        let r1 = r0.checked_sub(d1).ok_or_else(|| malformed("delta underflow"))?;
+        let decode = |raw: u32, map: &[Lit]| -> Result<Lit, ParseAigerError> {
+            let var = (raw / 2) as usize;
+            if var >= map.len() {
+                return Err(malformed("forward reference in binary aiger"));
+            }
+            Ok(map[var].xor_compl(raw % 2 == 1))
+        };
+        let f0 = decode(r0, &map)?;
+        let f1 = decode(r1, &map)?;
+        map.push(g.and(f0, f1));
+    }
+    for raw in po_lits {
+        let var = (raw / 2) as usize;
+        if var >= map.len() {
+            return Err(malformed("output references undefined variable"));
+        }
+        g.add_po(map[var].xor_compl(raw % 2 == 1));
+    }
+    Ok(g)
+}
+
+fn write_delta<W: Write>(w: &mut W, mut delta: u32) -> io::Result<()> {
+    loop {
+        let byte = (delta & 0x7F) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_delta<R: Read>(r: &mut R) -> Result<u32, ParseAigerError> {
+    let mut out = 0u32;
+    let mut shift = 0;
+    loop {
+        let mut byte = [0u8];
+        r.read_exact(&mut byte)?;
+        out |= ((byte[0] & 0x7F) as u32) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(malformed("delta too large"));
+        }
+    }
+}
+
+/// Dense renumbering: our node index -> AIGER variable.
+fn renumber(aig: &Aig) -> Vec<u32> {
+    let mut renum = vec![0u32; aig.num_nodes()];
+    let mut next = 1u32;
+    for &pi in aig.pis() {
+        renum[pi as usize] = next;
+        next += 1;
+    }
+    for v in aig.iter_ands() {
+        renum[v as usize] = next;
+        next += 1;
+    }
+    renum
+}
+
+fn encode(renum: &[u32], lit: Lit) -> u32 {
+    2 * renum[lit.var() as usize] + lit.is_compl() as u32
+}
+
+/// Serialises to an in-memory `aag` string (convenience for tests/examples).
+pub fn to_aag_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_aag(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("aag output is ASCII")
+}
+
+/// Parses an in-memory `aag` string.
+///
+/// # Errors
+/// Same as [`read_aag`].
+pub fn from_aag_str(s: &str) -> Result<Aig, ParseAigerError> {
+    read_aag(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor(a, b);
+        let y = g.mux(c, x, !a);
+        g.add_po(y);
+        g.add_po(!x);
+        g
+    }
+
+    #[test]
+    fn aag_roundtrip_preserves_function() {
+        let g = sample();
+        let text = to_aag_string(&g);
+        let h = from_aag_str(&text).unwrap();
+        assert_eq!(h.num_pis(), g.num_pis());
+        assert_eq!(h.num_pos(), g.num_pos());
+        for m in 0..8usize {
+            let ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(g.eval(&ins), h.eval(&ins), "m={m}");
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_function() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_aig_binary(&g, &mut buf).unwrap();
+        let h = read_aig_binary(std::io::Cursor::new(buf)).unwrap();
+        for m in 0..8usize {
+            let ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(g.eval(&ins), h.eval(&ins), "m={m}");
+        }
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(from_aag_str(text), Err(ParseAigerError::Sequential)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_aag_str("not an aiger file").is_err());
+        assert!(from_aag_str("aag 1 1").is_err());
+        assert!(from_aag_str("aag 1 1 0 0 0\n3\n").is_err(), "odd input literal");
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut g = Aig::new();
+        g.add_po(Lit::TRUE);
+        g.add_po(Lit::FALSE);
+        let text = to_aag_string(&g);
+        let h = from_aag_str(&text).unwrap();
+        assert_eq!(h.eval(&[]), vec![true, false]);
+    }
+
+    #[test]
+    fn parses_known_example() {
+        // AND of two inputs, from the AIGER spec.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let g = from_aag_str(text).unwrap();
+        assert_eq!(g.num_pis(), 2);
+        assert_eq!(g.num_ands(), 1);
+        assert_eq!(g.eval(&[true, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![false]);
+    }
+}

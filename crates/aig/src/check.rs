@@ -1,0 +1,79 @@
+//! Equivalence-checking helpers used throughout the test suites.
+//!
+//! Synthesis passes must preserve the function of every PO. This module
+//! offers a cheap probabilistic check (bit-parallel random simulation) and
+//! an exact check for small input counts (exhaustive simulation). Exact
+//! SAT-based miter checking lives in the integration test-suite, where the
+//! solver crate is available.
+
+use crate::aig::Aig;
+use crate::sim::{output_tts, po_signatures};
+
+/// Probabilistic equivalence: compares PO signatures over
+/// `n_words * 64` common random patterns.
+///
+/// A `false` answer is definitive (a counterexample pattern exists); `true`
+/// means no difference was observed.
+///
+/// # Panics
+/// Panics if the graphs differ in PI or PO count.
+pub fn sim_equiv(a: &Aig, b: &Aig, n_words: usize, seed: u64) -> bool {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+    po_signatures(a, n_words, seed) == po_signatures(b, n_words, seed)
+}
+
+/// Exact equivalence by exhaustive simulation (up to [`crate::Tt::MAX_VARS`]
+/// PIs).
+///
+/// # Panics
+/// Panics if the graphs differ in PI/PO count or have too many PIs.
+pub fn exhaustive_equiv(a: &Aig, b: &Aig) -> bool {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+    output_tts(a) == output_tts(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_structures_detected() {
+        // Two different constructions of XOR.
+        let mut g1 = Aig::new();
+        let a = g1.add_pi();
+        let b = g1.add_pi();
+        let x = g1.xor(a, b);
+        g1.add_po(x);
+
+        let mut g2 = Aig::new();
+        let a = g2.add_pi();
+        let b = g2.add_pi();
+        let o = g2.or(a, b);
+        let na = g2.and(a, b);
+        let x = g2.and(o, !na);
+        g2.add_po(x);
+
+        assert!(exhaustive_equiv(&g1, &g2));
+        assert!(sim_equiv(&g1, &g2, 4, 11));
+    }
+
+    #[test]
+    fn inequivalent_detected() {
+        let mut g1 = Aig::new();
+        let a = g1.add_pi();
+        let b = g1.add_pi();
+        let x = g1.and(a, b);
+        g1.add_po(x);
+
+        let mut g2 = Aig::new();
+        let a = g2.add_pi();
+        let b = g2.add_pi();
+        let x = g2.or(a, b);
+        g2.add_po(x);
+
+        assert!(!exhaustive_equiv(&g1, &g2));
+        assert!(!sim_equiv(&g1, &g2, 4, 11));
+    }
+}

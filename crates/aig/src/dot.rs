@@ -1,0 +1,103 @@
+//! GraphViz (`dot`) export for debugging and documentation.
+//!
+//! Renders the AIG as a DAG: boxes for primary inputs, circles for AND
+//! gates, double circles for primary outputs; complemented edges are
+//! dashed (the classic AIG drawing convention).
+
+use crate::aig::Aig;
+use std::fmt::Write as _;
+
+/// Renders the graph in GraphViz `dot` syntax.
+///
+/// Only logic reachable from the POs is drawn.
+///
+/// ```
+/// use aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.add_pi();
+/// let b = g.add_pi();
+/// let x = g.xor(a, b);
+/// g.add_po(x);
+/// let dot = aig::dot::to_dot(&g);
+/// assert!(dot.starts_with("digraph aig {"));
+/// assert!(dot.contains("style=dashed"));
+/// ```
+pub fn to_dot(aig: &Aig) -> String {
+    let reach = aig.reachable_from_pos();
+    let mut out = String::from("digraph aig {\n  rankdir=BT;\n");
+    // Constant node, if used.
+    let const_used = aig.pos().iter().any(|l| l.is_const())
+        || aig
+            .iter_ands()
+            .filter(|&v| reach[v as usize])
+            .any(|v| aig.node(v).fanin0().is_const() || aig.node(v).fanin1().is_const());
+    if const_used {
+        out.push_str("  n0 [label=\"0\", shape=plaintext];\n");
+    }
+    for (i, &pi) in aig.pis().iter().enumerate() {
+        if reach[pi as usize] {
+            let _ = writeln!(out, "  n{pi} [label=\"x{i}\", shape=box];");
+        }
+    }
+    for v in aig.iter_ands() {
+        if !reach[v as usize] {
+            continue;
+        }
+        let _ = writeln!(out, "  n{v} [label=\"∧\", shape=circle];");
+        let n = aig.node(v);
+        for fanin in [n.fanin0(), n.fanin1()] {
+            let style = if fanin.is_compl() { " [style=dashed]" } else { "" };
+            let _ = writeln!(out, "  n{} -> n{v}{style};", fanin.var());
+        }
+    }
+    for (i, &po) in aig.pos().iter().enumerate() {
+        let _ = writeln!(out, "  o{i} [label=\"y{i}\", shape=doublecircle];");
+        let style = if po.is_compl() { " [style=dashed]" } else { "" };
+        let _ = writeln!(out, "  n{} -> o{i}{style};", po.var());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    #[test]
+    fn xor_drawing_has_expected_shape() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("shape=box").count(), 2, "two PIs");
+        assert_eq!(dot.matches("shape=circle").count(), 3, "XOR = 3 ANDs");
+        assert_eq!(dot.matches("shape=doublecircle").count(), 1, "one PO");
+        assert!(dot.contains("style=dashed"), "XOR has complemented edges");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unreachable_logic_is_not_drawn() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let used = g.and(a, b);
+        let _dangling = g.or(a, b);
+        g.add_po(used);
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("shape=circle").count(), 1, "only the used AND");
+    }
+
+    #[test]
+    fn constant_pos_reference_node_zero() {
+        let mut g = Aig::new();
+        g.add_po(crate::Lit::TRUE);
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 [label=\"0\""));
+        assert!(dot.contains("n0 -> o0 [style=dashed]"), "TRUE is ¬const0");
+    }
+}

@@ -1,0 +1,106 @@
+//! AIG node representation.
+
+use crate::lit::Lit;
+
+/// A single AIG node.
+///
+/// Three kinds exist, distinguished without a tag byte to keep the node at
+/// eight bytes:
+///
+/// * the **constant** node (index 0),
+/// * **primary inputs**, whose fanin slots hold a sentinel,
+/// * **AND gates**, whose fanin literals are stored with `fanin0 <= fanin1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    pub(crate) fanin0: Lit,
+    pub(crate) fanin1: Lit,
+}
+
+impl Node {
+    pub(crate) const CONST: Node = Node { fanin0: Lit::NONE, fanin1: Lit::FALSE };
+    pub(crate) const PI: Node = Node { fanin0: Lit::NONE, fanin1: Lit::TRUE };
+
+    #[inline]
+    pub(crate) fn and(f0: Lit, f1: Lit) -> Node {
+        debug_assert!(f0 <= f1);
+        Node { fanin0: f0, fanin1: f1 }
+    }
+
+    /// True if this node is an AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        self.fanin0 != Lit::NONE
+    }
+
+    /// True if this node is a primary input.
+    #[inline]
+    pub fn is_pi(&self) -> bool {
+        self.fanin0 == Lit::NONE && self.fanin1 == Lit::TRUE
+    }
+
+    /// True if this node is the constant node.
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        self.fanin0 == Lit::NONE && self.fanin1 == Lit::FALSE
+    }
+
+    /// First fanin literal.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the node is not an AND gate.
+    #[inline]
+    pub fn fanin0(&self) -> Lit {
+        debug_assert!(self.is_and());
+        self.fanin0
+    }
+
+    /// Second fanin literal.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the node is not an AND gate.
+    #[inline]
+    pub fn fanin1(&self) -> Lit {
+        debug_assert!(self.is_and());
+        self.fanin1
+    }
+
+    /// Both fanin literals of an AND gate.
+    #[inline]
+    pub fn fanins(&self) -> [Lit; 2] {
+        debug_assert!(self.is_and());
+        [self.fanin0, self.fanin1]
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_const() {
+            write!(f, "Const0")
+        } else if self.is_pi() {
+            write!(f, "Pi")
+        } else {
+            write!(f, "And({:?}, {:?})", self.fanin0, self.fanin1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let c = Node::CONST;
+        let p = Node::PI;
+        let a = Node::and(Lit::from_var(1, false), Lit::from_var(2, true));
+        assert!(c.is_const() && !c.is_pi() && !c.is_and());
+        assert!(p.is_pi() && !p.is_const() && !p.is_and());
+        assert!(a.is_and() && !a.is_pi() && !a.is_const());
+        assert_eq!(a.fanins(), [Lit::from_var(1, false), Lit::from_var(2, true)]);
+    }
+
+    #[test]
+    fn node_is_small() {
+        assert_eq!(std::mem::size_of::<Node>(), 8);
+    }
+}

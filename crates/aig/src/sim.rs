@@ -1,0 +1,168 @@
+//! Bit-parallel simulation.
+//!
+//! Each `u64` word carries 64 independent input patterns, so one sweep over
+//! the node array evaluates the circuit on 64 assignments at once. Random
+//! simulation underpins probabilistic equivalence checking, resubstitution
+//! filtering, and the structural embedding's functional signatures.
+
+use crate::aig::Aig;
+use crate::tt::Tt;
+use rand::{Rng, SeedableRng};
+
+/// Evaluates all nodes on one 64-pattern word per PI.
+///
+/// Returns one word per node, in node order (constant node first, value 0).
+///
+/// # Panics
+/// Panics if `pi_words.len() != aig.num_pis()`.
+pub fn simulate_words(aig: &Aig, pi_words: &[u64]) -> Vec<u64> {
+    assert_eq!(pi_words.len(), aig.num_pis(), "one simulation word per PI required");
+    let mut val = vec![0u64; aig.num_nodes()];
+    for (i, &pi) in aig.pis().iter().enumerate() {
+        val[pi as usize] = pi_words[i];
+    }
+    for v in aig.iter_ands() {
+        let n = aig.node(v);
+        let a = word(&val, n.fanin0().var(), n.fanin0().is_compl());
+        let b = word(&val, n.fanin1().var(), n.fanin1().is_compl());
+        val[v as usize] = a & b;
+    }
+    val
+}
+
+#[inline]
+fn word(val: &[u64], var: u32, compl: bool) -> u64 {
+    let w = val[var as usize];
+    if compl {
+        !w
+    } else {
+        w
+    }
+}
+
+/// Per-node signatures over `n_words * 64` uniformly random patterns.
+///
+/// `signatures[v][w]` is the simulation word `w` of node `v`. Deterministic
+/// for a fixed seed.
+pub fn random_signatures(aig: &Aig, n_words: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sigs = vec![vec![0u64; n_words]; aig.num_nodes()];
+    for w in 0..n_words {
+        let pi_words: Vec<u64> = (0..aig.num_pis()).map(|_| rng.gen()).collect();
+        let vals = simulate_words(aig, &pi_words);
+        for (v, &x) in vals.iter().enumerate() {
+            sigs[v][w] = x;
+        }
+    }
+    sigs
+}
+
+/// PO signatures over `n_words * 64` random patterns (complement applied).
+pub fn po_signatures(aig: &Aig, n_words: usize, seed: u64) -> Vec<Vec<u64>> {
+    let sigs = random_signatures(aig, n_words, seed);
+    aig.pos()
+        .iter()
+        .map(|po| {
+            sigs[po.var() as usize]
+                .iter()
+                .map(|&w| if po.is_compl() { !w } else { w })
+                .collect()
+        })
+        .collect()
+}
+
+/// Complete truth tables of every PO over the PIs (exhaustive simulation).
+///
+/// # Panics
+/// Panics if the graph has more than [`Tt::MAX_VARS`] primary inputs.
+pub fn output_tts(aig: &Aig) -> Vec<Tt> {
+    let n = aig.num_pis();
+    assert!(n <= Tt::MAX_VARS, "too many PIs for exhaustive simulation");
+    let n_words = if n <= 6 { 1 } else { 1 << (n - 6) };
+    let mut po_words: Vec<Vec<u64>> = vec![vec![0u64; n_words]; aig.num_pos()];
+    for w in 0..n_words {
+        // PI i pattern within word w of the elementary table of variable i.
+        let pi_words: Vec<u64> = (0..n)
+            .map(|i| {
+                if i < 6 {
+                    crate::tt::VAR_MASKS[i]
+                } else if w >> (i - 6) & 1 != 0 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let vals = simulate_words(aig, &pi_words);
+        for (o, po) in aig.pos().iter().enumerate() {
+            let x = vals[po.var() as usize];
+            po_words[o][w] = if po.is_compl() { !x } else { x };
+        }
+    }
+    po_words.into_iter().map(|ws| Tt::from_words(n, ws)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_match_scalar_eval() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor(a, b);
+        let y = g.mux(c, x, a);
+        g.add_po(y);
+        let pi_words = [0b1010u64, 0b1100, 0b1111_0000];
+        let vals = simulate_words(&g, &pi_words);
+        for bit in 0..8 {
+            let ins: Vec<bool> = pi_words.iter().map(|w| w >> bit & 1 != 0).collect();
+            let expect = g.eval(&ins)[0];
+            let got = vals[y.var() as usize] >> bit & 1 != 0;
+            assert_eq!(got ^ y.is_compl(), expect, "bit={bit}");
+        }
+    }
+
+    #[test]
+    fn output_tts_match_eval() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(7); // crosses the one-word boundary
+        let x = g.xor_many(&pis);
+        let y = g.and_many(&pis[..3]);
+        g.add_po(x);
+        g.add_po(!y);
+        let tts = output_tts(&g);
+        for m in 0..128usize {
+            let ins: Vec<bool> = (0..7).map(|i| m >> i & 1 != 0).collect();
+            let out = g.eval(&ins);
+            assert_eq!(tts[0].bit(m), out[0], "po0 m={m}");
+            assert_eq!(tts[1].bit(m), out[1], "po1 m={m}");
+        }
+    }
+
+    #[test]
+    fn signatures_deterministic() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        let s1 = random_signatures(&g, 4, 42);
+        let s2 = random_signatures(&g, 4, 42);
+        assert_eq!(s1, s2);
+        let s3 = random_signatures(&g, 4, 43);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn po_signature_applies_complement() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        g.add_po(a);
+        g.add_po(!a);
+        let sigs = po_signatures(&g, 2, 1);
+        assert_eq!(sigs[0][0], !sigs[1][0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for **Fig. 5**: the ablation arms — full framework
+//! (*Ours*), random recipes (*w/o RL*), conventional mapping cost
+//! (*C. Mapper*) — end-to-end on a fixed slice of the test set.
+
+use bench::experiments::{solver_preset, test_split, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use csat_preproc::{FrameworkPipeline, Pipeline};
+use rl::RecipePolicy;
+use sat::{solve_cnf, Budget};
+use synth::Recipe;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instances = test_split(&scale);
+    let slice: Vec<_> = instances.into_iter().take(4).collect();
+    let solver = solver_preset("kissat");
+    let budget = Budget::conflicts(scale.budget_conflicts);
+
+    let policy = RecipePolicy::Fixed(Recipe::size_script());
+    let arms: Vec<(&str, FrameworkPipeline)> = vec![
+        ("ours", FrameworkPipeline::ours(policy.clone())),
+        ("without_rl", FrameworkPipeline::without_rl(7, 10)),
+        ("conventional_mapper", FrameworkPipeline::conventional_mapper(policy)),
+    ];
+
+    let mut group = c.benchmark_group("fig5_ablation");
+    group.sample_size(10);
+    for (name, p) in &arms {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut decisions = 0u64;
+                for inst in &slice {
+                    let pre = p.preprocess(&inst.aig);
+                    let (_, stats) = solve_cnf(&pre.cnf, solver.clone(), budget);
+                    decisions += stats.decisions;
+                }
+                decisions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the **LUT-size (k) sweep** — an ablation of the
+//! paper's choice of 4-input LUTs (Sec. III-C enumerates all 4-LUT costs).
+//! Maps the same instances with k ∈ {3, 4, 5, 6} under the branching cost
+//! and measures end-to-end decisions, exposing the coarseness/visibility
+//! trade-off: larger LUTs hide more internal logic but price functions
+//! more coarsely.
+
+use bench::experiments::{solver_preset, test_split, Scale};
+use cnf::lut_to_cnf_sat_instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapper::{map_luts, BranchingCost, MapParams};
+use sat::solve_cnf;
+
+fn bench_lut_k(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instances = test_split(&scale);
+    let slice: Vec<_> = instances.into_iter().take(3).collect();
+    let solver = solver_preset("kissat");
+    let budget = scale.budget();
+
+    let mut group = c.benchmark_group("lut_k_sweep");
+    group.sample_size(10);
+    for k in [3usize, 4, 5, 6] {
+        let params = MapParams { k, ..MapParams::default() };
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                let mut decisions = 0u64;
+                for inst in &slice {
+                    let net = map_luts(&inst.aig, &params, &BranchingCost::new());
+                    let (f, _) = lut_to_cnf_sat_instance(&net);
+                    let (_, stats) = solve_cnf(&f, solver.clone(), budget);
+                    decisions += stats.decisions;
+                }
+                decisions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut_k);
+criterion_main!(benches);

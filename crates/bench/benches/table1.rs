@@ -1,0 +1,37 @@
+//! Criterion bench for **Table I**: cost of generating the training
+//! dataset and producing its statistics (dataset generation, Tseitin
+//! encoding, budgeted baseline solve).
+
+use bench::experiments::{table1, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use csat_preproc::{BaselinePipeline, Pipeline};
+use sat::{solve_cnf, Budget, SolverConfig};
+use workloads::dataset::{generate, DatasetParams};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("dataset_generation_8", |b| {
+        b.iter(|| generate(&DatasetParams::training(8), 0xAB1E))
+    });
+
+    let set = generate(&DatasetParams { count: 1, min_bits: 8, max_bits: 8, hard_multipliers: false }, 1);
+    let inst = &set[0];
+    group.bench_function("tseitin_encode", |b| b.iter(|| BaselinePipeline.preprocess(&inst.aig)));
+
+    let pre = BaselinePipeline.preprocess(&inst.aig);
+    group.bench_function("baseline_solve", |b| {
+        b.iter(|| solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::conflicts(30_000)))
+    });
+
+    group.bench_function("full_table_quick", |b| {
+        let scale = Scale::quick();
+        b.iter(|| table1(&scale))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! DIMACS CNF reader and writer.
+
+use crate::types::{Cnf, CnfLit};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing DIMACS files.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content with a description.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error while reading dimacs: {e}"),
+            ParseDimacsError::Malformed(m) => write!(f, "malformed dimacs file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Reads a DIMACS CNF file.
+///
+/// Comment lines (`c ...`) are skipped; the `p cnf V C` header is optional
+/// but validated when present.
+///
+/// # Errors
+/// Returns [`ParseDimacsError`] on I/O failure or malformed content.
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared: Option<(u32, usize)> = None;
+    let mut current: Vec<CnfLit> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseDimacsError::Malformed("expected 'p cnf' header".into()));
+            }
+            let v: u32 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseDimacsError::Malformed("bad variable count".into()))?;
+            let c: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseDimacsError::Malformed("bad clause count".into()))?;
+            declared = Some((v, c));
+            cnf.ensure_vars(v);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let raw: i32 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::Malformed(format!("bad literal '{tok}'")))?;
+            if raw == 0 {
+                cnf.add_clause(std::mem::take(&mut current));
+            } else {
+                current.push(CnfLit::from_dimacs(raw));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::Malformed("last clause not terminated by 0".into()));
+    }
+    if let Some((v, _)) = declared {
+        if cnf.num_vars() > v {
+            return Err(ParseDimacsError::Malformed(
+                "clause references variable beyond declared count".into(),
+            ));
+        }
+    }
+    Ok(cnf)
+}
+
+/// Writes the formula in DIMACS CNF format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_dimacs<W: Write>(cnf: &Cnf, mut w: W) -> io::Result<()> {
+    writeln!(w, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(w, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+/// Serialises to an in-memory DIMACS string.
+pub fn to_dimacs_string(cnf: &Cnf) -> String {
+    let mut buf = Vec::new();
+    write_dimacs(cnf, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("dimacs output is ASCII")
+}
+
+/// Parses an in-memory DIMACS string.
+///
+/// # Errors
+/// Same as [`read_dimacs`].
+pub fn from_dimacs_str(s: &str) -> Result<Cnf, ParseDimacsError> {
+    read_dimacs(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Cnf::new();
+        f.add_clause(vec![CnfLit::pos(1), CnfLit::neg(3)]);
+        f.add_unit(CnfLit::pos(2));
+        let s = to_dimacs_string(&f);
+        let g = from_dimacs_str(&s).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let s = "c hello\n\np cnf 2 1\nc mid\n1 -2 0\n";
+        let f = from_dimacs_str(s).unwrap();
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let s = "p cnf 3 1\n1 2\n3 0\n";
+        let f = from_dimacs_str(s).unwrap();
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(from_dimacs_str("p cnf x y\n").is_err());
+        assert!(from_dimacs_str("1 2 3\n").is_err(), "unterminated clause");
+        assert!(from_dimacs_str("p dnf 1 1\n1 0\n").is_err());
+        assert!(from_dimacs_str("p cnf 1 1\n2 0\n").is_err(), "var beyond declared");
+    }
+}

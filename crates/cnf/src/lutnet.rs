@@ -1,0 +1,201 @@
+//! LUT netlists — the output of technology mapping.
+//!
+//! A [`LutNetlist`] is a DAG of k-input look-up tables over the primary
+//! inputs. The paper's framework maps the synthesised AIG into such a
+//! netlist (hiding all internal AND/NOT structure) and then re-encodes it
+//! into CNF with one variable per LUT output only.
+
+use aig::Tt;
+
+/// A signal in a LUT netlist: a node id plus a complement flag.
+///
+/// Node ids `0..num_inputs` are the primary inputs; ids `num_inputs..` are
+/// LUTs in topological order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LutSignal {
+    /// Node id.
+    pub node: u32,
+    /// Complement flag.
+    pub compl: bool,
+}
+
+impl LutSignal {
+    /// A non-complemented reference to `node`.
+    pub fn new(node: u32) -> LutSignal {
+        LutSignal { node, compl: false }
+    }
+
+    /// This signal with the complement flag XOR-ed by `c`.
+    pub fn xor_compl(self, c: bool) -> LutSignal {
+        LutSignal { node: self.node, compl: self.compl ^ c }
+    }
+}
+
+impl std::ops::Not for LutSignal {
+    type Output = LutSignal;
+    fn not(self) -> LutSignal {
+        LutSignal { node: self.node, compl: !self.compl }
+    }
+}
+
+/// One k-input LUT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lut {
+    /// Fanin signals; `tt` variable `i` reads `fanins[i]`.
+    pub fanins: Vec<LutSignal>,
+    /// The implemented function over the fanins.
+    pub tt: Tt,
+}
+
+/// A combinational LUT netlist.
+#[derive(Clone, Debug, Default)]
+pub struct LutNetlist {
+    num_inputs: usize,
+    luts: Vec<Lut>,
+    outputs: Vec<LutSignal>,
+}
+
+impl LutNetlist {
+    /// An empty netlist with `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> LutNetlist {
+        LutNetlist { num_inputs, luts: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of LUTs.
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The LUTs, in topological order.
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// The output signals.
+    pub fn outputs(&self) -> &[LutSignal] {
+        &self.outputs
+    }
+
+    /// Largest LUT fanin count in the netlist (0 if there are no LUTs).
+    pub fn max_fanin(&self) -> usize {
+        self.luts.iter().map(|l| l.fanins.len()).max().unwrap_or(0)
+    }
+
+    /// Appends a LUT and returns its signal.
+    ///
+    /// # Panics
+    /// Panics if the truth-table arity does not match the fanin count or a
+    /// fanin refers to a node not yet defined.
+    pub fn add_lut(&mut self, fanins: Vec<LutSignal>, tt: Tt) -> LutSignal {
+        assert_eq!(tt.nvars(), fanins.len(), "LUT arity mismatch");
+        let next_id = (self.num_inputs + self.luts.len()) as u32;
+        for f in &fanins {
+            assert!(f.node < next_id, "LUT fanin must already be defined");
+        }
+        self.luts.push(Lut { fanins, tt });
+        LutSignal::new(next_id)
+    }
+
+    /// Registers an output signal.
+    ///
+    /// # Panics
+    /// Panics if the signal refers to an undefined node.
+    pub fn add_output(&mut self, s: LutSignal) {
+        assert!((s.node as usize) < self.num_inputs + self.luts.len(), "output out of range");
+        self.outputs.push(s);
+    }
+
+    /// Evaluates the netlist on one Boolean input assignment.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != num_inputs`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong number of input values");
+        let mut val: Vec<bool> = Vec::with_capacity(self.num_inputs + self.luts.len());
+        val.extend_from_slice(inputs);
+        for lut in &self.luts {
+            let mut minterm = 0usize;
+            for (i, f) in lut.fanins.iter().enumerate() {
+                if val[f.node as usize] ^ f.compl {
+                    minterm |= 1 << i;
+                }
+            }
+            val.push(lut.tt.bit(minterm));
+        }
+        self.outputs.iter().map(|s| val[s.node as usize] ^ s.compl).collect()
+    }
+
+    /// Sum of per-LUT branching complexity (`#isop(f) + #isop(!f)`), the
+    /// paper's customised netlist cost; also the exact number of gate
+    /// clauses [`crate::lut2cnf`] will emit.
+    pub fn total_branching_complexity(&self) -> usize {
+        self.luts.iter().map(|l| l.tt.branching_complexity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_two_level() {
+        // out = (a & b) ^ c
+        let mut net = LutNetlist::new(3);
+        let and = net.add_lut(
+            vec![LutSignal::new(0), LutSignal::new(1)],
+            Tt::from_u64(2, 0x8),
+        );
+        let xor = net.add_lut(vec![and, LutSignal::new(2)], Tt::from_u64(2, 0x6));
+        net.add_output(xor);
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+            let want = (ins[0] && ins[1]) ^ ins[2];
+            assert_eq!(net.eval(&ins), vec![want], "m={m}");
+        }
+    }
+
+    #[test]
+    fn complemented_fanins_and_outputs() {
+        let mut net = LutNetlist::new(2);
+        let l = net.add_lut(
+            vec![!LutSignal::new(0), LutSignal::new(1)],
+            Tt::from_u64(2, 0x8),
+        );
+        net.add_output(!l);
+        // out = !(!a & b)
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(net.eval(&[a, b]), vec![!(!a && b)]);
+        }
+    }
+
+    #[test]
+    fn branching_totals() {
+        let mut net = LutNetlist::new(2);
+        let _and = net.add_lut(
+            vec![LutSignal::new(0), LutSignal::new(1)],
+            Tt::from_u64(2, 0x8),
+        );
+        let _xor = net.add_lut(
+            vec![LutSignal::new(0), LutSignal::new(1)],
+            Tt::from_u64(2, 0x6),
+        );
+        assert_eq!(net.total_branching_complexity(), 3 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanin must already be defined")]
+    fn forward_reference_rejected() {
+        let mut net = LutNetlist::new(1);
+        net.add_lut(vec![LutSignal::new(5)], Tt::from_u64(1, 0x2));
+    }
+}

@@ -1,0 +1,230 @@
+//! Tseitin encoding of AIGs — the paper's *Baseline* CNF pipeline.
+//!
+//! Every AND node reachable from a PO gets a CNF variable; each gate
+//! contributes the three standard clauses. This is what "encoding the
+//! circuit-based instances directly into CNFs" means in the paper's
+//! evaluation (Sec. IV-B, *Baseline*).
+
+use crate::types::{Cnf, CnfLit};
+use aig::{Aig, Lit, Var};
+
+/// Mapping between AIG nodes and CNF variables produced by an encoding.
+#[derive(Clone, Debug)]
+pub struct VarMap {
+    /// `node_var[v]` is the CNF variable of AIG node `v` (0 = not encoded).
+    node_var: Vec<u32>,
+    /// CNF variable of each PI, in PI order.
+    pi_vars: Vec<u32>,
+}
+
+impl VarMap {
+    /// CNF variable of AIG node `v`, if encoded.
+    pub fn node(&self, v: Var) -> Option<u32> {
+        match self.node_var.get(v as usize) {
+            Some(&x) if x != 0 => Some(x),
+            _ => None,
+        }
+    }
+
+    /// CNF literal for AIG literal `l`, if its node is encoded.
+    pub fn lit(&self, l: Lit) -> Option<CnfLit> {
+        self.node(l.var()).map(|v| CnfLit::new(v, !l.is_compl()))
+    }
+
+    /// CNF variables of the primary inputs, in PI order.
+    pub fn pi_vars(&self) -> &[u32] {
+        &self.pi_vars
+    }
+
+    /// Extracts the PI assignment from a SAT model
+    /// (`model[v-1]` = value of CNF variable `v`).
+    pub fn decode_inputs(&self, model: &[bool]) -> Vec<bool> {
+        self.pi_vars.iter().map(|&v| model[(v - 1) as usize]).collect()
+    }
+}
+
+/// Tseitin-encodes the cone of the POs.
+///
+/// Returns the clause set (without any output assertion) and the variable
+/// map. Unreachable logic is not encoded. Constant POs are handled by the
+/// caller via [`VarMap::lit`] returning the variable of node 0, which is
+/// constrained to false.
+pub fn tseitin(aig: &Aig) -> (Cnf, VarMap) {
+    let reach = aig.reachable_from_pos();
+    let mut cnf = Cnf::new();
+    let mut node_var = vec![0u32; aig.num_nodes()];
+
+    // Constant node: encode only if some PO is constant.
+    let need_const = aig.pos().iter().any(|l| l.is_const());
+    if need_const {
+        let v = cnf.fresh_var();
+        node_var[0] = v;
+        cnf.add_unit(CnfLit::neg(v));
+    }
+
+    let mut pi_vars = Vec::with_capacity(aig.num_pis());
+    for &pi in aig.pis() {
+        let v = cnf.fresh_var();
+        node_var[pi as usize] = v;
+        pi_vars.push(v);
+    }
+
+    for nv in aig.iter_ands() {
+        if !reach[nv as usize] {
+            continue;
+        }
+        let node = aig.node(nv);
+        let y = cnf.fresh_var();
+        node_var[nv as usize] = y;
+        let a = encode_fanin(&node_var, node.fanin0());
+        let b = encode_fanin(&node_var, node.fanin1());
+        let yl = CnfLit::pos(y);
+        // y -> a, y -> b, (a & b) -> y
+        cnf.add_clause(vec![!yl, a]);
+        cnf.add_clause(vec![!yl, b]);
+        cnf.add_clause(vec![yl, !a, !b]);
+    }
+
+    (cnf, VarMap { node_var, pi_vars })
+}
+
+fn encode_fanin(node_var: &[u32], l: Lit) -> CnfLit {
+    let v = node_var[l.var() as usize];
+    debug_assert!(v != 0, "fanin of reachable node must be encoded");
+    CnfLit::new(v, !l.is_compl())
+}
+
+/// Tseitin-encodes and asserts satisfaction of the instance: the OR of all
+/// POs must be true (a single-PO instance gets a unit clause).
+///
+/// This is the complete *Baseline* CSAT-to-CNF conversion.
+///
+/// # Panics
+/// Panics if the graph has no POs.
+pub fn tseitin_sat_instance(aig: &Aig) -> (Cnf, VarMap) {
+    assert!(aig.num_pos() > 0, "instance needs at least one PO");
+    let (mut cnf, map) = tseitin(aig);
+    let po_lits: Vec<CnfLit> = aig
+        .pos()
+        .iter()
+        .map(|&po| {
+            if po == Lit::TRUE {
+                // Trivially satisfied output: encode as an always-true clause
+                // by just skipping; handled below.
+                CnfLit::pos(cnf.num_vars().max(1))
+            } else {
+                map.lit(po).expect("PO cone encoded")
+            }
+        })
+        .collect();
+    if aig.pos().iter().any(|&po| po == Lit::TRUE) {
+        // The instance is trivially SAT; emit no assertion.
+        return (cnf, map);
+    }
+    cnf.add_clause(po_lits);
+    (cnf, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+        let n = cnf.num_vars() as usize;
+        assert!(n <= 20, "brute force limited to 20 vars");
+        for m in 0..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            if cnf.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn and_instance_sat_model_is_valid() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        let (cnf, map) = tseitin_sat_instance(&g);
+        let model = brute_force_sat(&cnf).expect("AND output can be 1");
+        let ins = map.decode_inputs(&model);
+        assert_eq!(g.eval(&ins), vec![true]);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let x = g.and(a, a); // folds to a
+        let y = g.and(x, !a); // folds to false
+        assert_eq!(y, Lit::FALSE);
+        g.add_po(y);
+        let (cnf, _) = tseitin_sat_instance(&g);
+        assert!(brute_force_sat(&cnf).is_none());
+    }
+
+    #[test]
+    fn xor_counts_and_models() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let (cnf, map) = tseitin_sat_instance(&g);
+        // 2 PIs + 3 AND gates encoded.
+        assert_eq!(cnf.num_vars(), 5);
+        let model = brute_force_sat(&cnf).unwrap();
+        let ins = map.decode_inputs(&model);
+        assert_eq!(g.eval(&ins), vec![true]);
+    }
+
+    #[test]
+    fn dead_logic_not_encoded() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let live = g.and(a, b);
+        let _dead = g.or(a, b);
+        g.add_po(live);
+        let (cnf, _) = tseitin(&g);
+        // 2 PIs + 1 live AND.
+        assert_eq!(cnf.num_vars(), 3);
+    }
+
+    #[test]
+    fn multi_po_asserts_disjunction() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let y = g.and(a, !b);
+        g.add_po(x);
+        g.add_po(y);
+        let (cnf, map) = tseitin_sat_instance(&g);
+        let model = brute_force_sat(&cnf).unwrap();
+        let ins = map.decode_inputs(&model);
+        let outs = g.eval(&ins);
+        assert!(outs[0] || outs[1]);
+    }
+
+    #[test]
+    fn trivially_true_po() {
+        let mut g = Aig::new();
+        let _ = g.add_pi();
+        g.add_po(Lit::TRUE);
+        let (cnf, _) = tseitin_sat_instance(&g);
+        assert!(brute_force_sat(&cnf).is_some());
+    }
+
+    #[test]
+    fn constant_false_po_unsat() {
+        let mut g = Aig::new();
+        let _ = g.add_pi();
+        g.add_po(Lit::FALSE);
+        let (cnf, _) = tseitin_sat_instance(&g);
+        assert!(brute_force_sat(&cnf).is_none());
+    }
+}

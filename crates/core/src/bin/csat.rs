@@ -1,0 +1,168 @@
+//! `csat` — command-line front end for the preprocessing framework.
+//!
+//! Reads a combinational AIGER instance, preprocesses it with a selectable
+//! pipeline, and either writes the resulting DIMACS CNF or solves it
+//! directly.
+//!
+//! ```text
+//! csat solve   <file.aag|file.aig> [--pipeline baseline|comp|ours] [--recipe "rs;rw"]
+//!              [--solver kissat|cadical] [--conflicts N]
+//! csat encode  <file.aag|file.aig> [--pipeline ...] [-o out.cnf]
+//! csat stats   <file.aag|file.aig>
+//! ```
+
+use csat_preproc::{BaselinePipeline, CompPipeline, FrameworkPipeline, Pipeline};
+use rl::RecipePolicy;
+use sat::{solve_cnf, Budget, SolverConfig};
+use std::io::BufReader;
+use std::process::ExitCode;
+use synth::Recipe;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage: csat <solve|encode|stats> <instance.aag|instance.aig> [options]");
+            eprintln!("  --pipeline baseline|comp|ours   (default ours)");
+            eprintln!("  --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)");
+            eprintln!("  --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)");
+            eprintln!("  --presolve                       run CNF presolve (BVE+subsumption) before solving");
+            eprintln!("  --solver   kissat|cadical        (default kissat)");
+            eprintln!("  --conflicts N                    conflict budget (default unlimited)");
+            eprintln!("  -o FILE                          output path for 'encode'");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let path = args.get(1).ok_or("missing instance path")?;
+    let instance = load(path)?;
+
+    match cmd.as_str() {
+        "stats" => {
+            println!(
+                "pis={} pos={} ands={} depth={}",
+                instance.num_pis(),
+                instance.num_pos(),
+                instance.num_ands(),
+                instance.depth()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "encode" => {
+            let pipeline = make_pipeline(args)?;
+            let pre = pipeline.preprocess(&instance);
+            let text = cnf::dimacs::to_dimacs_string(&pre.cnf);
+            match flag(args, "-o") {
+                Some(out) => std::fs::write(&out, text).map_err(|e| e.to_string())?,
+                None => print!("{text}"),
+            }
+            eprintln!(
+                "c {} vars={} clauses={} preprocess={:?} recipe=[{}]",
+                pipeline.name(),
+                pre.cnf.num_vars(),
+                pre.cnf.num_clauses(),
+                pre.preprocess_time,
+                pre.recipe
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "solve" => {
+            let pipeline = make_pipeline(args)?;
+            let solver = match flag(args, "--solver").as_deref() {
+                None | Some("kissat") => SolverConfig::kissat_like(),
+                Some("cadical") => SolverConfig::cadical_like(),
+                Some(other) => return Err(format!("unknown solver '{other}'")),
+            };
+            let budget = match flag(args, "--conflicts") {
+                Some(n) => Budget::conflicts(n.parse().map_err(|_| "bad conflict budget")?),
+                None => Budget::UNLIMITED,
+            };
+            let pre = pipeline.preprocess(&instance);
+            let t0 = std::time::Instant::now();
+            let (res, stats) = if args.iter().any(|a| a == "--presolve") {
+                sat::presolve::solve_cnf_presolved(
+                    &pre.cnf,
+                    solver,
+                    budget,
+                    &sat::presolve::PresolveConfig::default(),
+                )
+            } else {
+                solve_cnf(&pre.cnf, solver, budget)
+            };
+            let dt = t0.elapsed();
+            eprintln!(
+                "c {}: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
+                pipeline.name(),
+                pre.cnf.num_vars(),
+                pre.cnf.num_clauses(),
+                stats.decisions,
+                stats.conflicts
+            );
+            match res {
+                sat::SolveResult::Sat(model) => {
+                    let ins = pre.decoder.decode_inputs(&model);
+                    // SAT-competition-style output plus the PI witness.
+                    println!("s SATISFIABLE");
+                    let bits: Vec<String> =
+                        ins.iter().map(|&b| if b { "1".into() } else { "0".to_string() }).collect();
+                    println!("v inputs {}", bits.join(""));
+                    // Double-check the witness before reporting success.
+                    if instance.eval(&ins).iter().any(|&o| o) {
+                        Ok(ExitCode::from(10))
+                    } else {
+                        Err("internal error: model does not satisfy the instance".into())
+                    }
+                }
+                sat::SolveResult::Unsat => {
+                    println!("s UNSATISFIABLE");
+                    Ok(ExitCode::from(20))
+                }
+                sat::SolveResult::Unknown => {
+                    println!("s UNKNOWN");
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<aig::Aig, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    let result = if path.ends_with(".aag") {
+        aig::aiger::read_aag(&mut reader)
+    } else {
+        aig::aiger::read_aig_binary(&mut reader)
+    };
+    result.map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn make_pipeline(args: &[String]) -> Result<Box<dyn Pipeline>, String> {
+    match flag(args, "--pipeline").as_deref() {
+        Some("baseline") => Ok(Box::new(BaselinePipeline)),
+        Some("comp") => Ok(Box::new(CompPipeline::default())),
+        None | Some("ours") => {
+            let recipe: Recipe = flag(args, "--recipe")
+                .unwrap_or_else(|| "rs;rs;rw".to_string())
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let mut pipeline = FrameworkPipeline::ours(RecipePolicy::Fixed(recipe));
+            if args.iter().any(|a| a == "--sweep") {
+                pipeline = pipeline.with_sweep(sweep::FraigParams::default());
+            }
+            Ok(Box::new(pipeline))
+        }
+        Some(other) => Err(format!("unknown pipeline '{other}'")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}

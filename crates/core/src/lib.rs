@@ -1,0 +1,48 @@
+//! # `csat-preproc` — EDA-driven preprocessing for Circuit-SAT
+//!
+//! Reproduction of *"Logic Optimization Meets SAT: A Novel Framework for
+//! Circuit-SAT Solving"* (DAC 2025): a preprocessing framework that turns
+//! CSAT instances into solver-friendly CNF by combining RL-guided logic
+//! synthesis with cost-customised LUT mapping (Algorithm 1).
+//!
+//! The crate exposes the three competing pipelines of the evaluation:
+//!
+//! * [`BaselinePipeline`] — direct Tseitin encoding,
+//! * [`CompPipeline`] — the Eén–Mishchenko–Sörensson circuit-preprocessing
+//!   baseline (size-oriented synthesis + area-cost LUT mapping),
+//! * [`FrameworkPipeline`] — the paper's framework (*Ours*), generic over
+//!   the recipe policy and mapping cost so the Fig. 5 ablation arms
+//!   (*w/o RL*, *C. Mapper*) fall out of the same type,
+//!
+//! plus the campaign runner and report helpers in [`report`] used by the
+//! `bench` crate to regenerate every table and figure.
+//!
+//! ```
+//! use csat_preproc::{BaselinePipeline, Pipeline};
+//! use sat::{solve_cnf, Budget, SolverConfig};
+//!
+//! let mut g = aig::Aig::new();
+//! let a = g.add_pi();
+//! let b = g.add_pi();
+//! let x = g.xor(a, b);
+//! g.add_po(x);
+//!
+//! let out = BaselinePipeline.preprocess(&g);
+//! let (result, stats) = solve_cnf(&out.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+//! assert!(result.is_sat());
+//! println!("branchings: {}", stats.decisions);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod comp;
+mod framework;
+mod pipeline;
+pub mod report;
+
+pub use baseline::BaselinePipeline;
+pub use comp::CompPipeline;
+pub use framework::{FrameworkPipeline, MappingCost};
+pub use pipeline::{Decoder, Pipeline, PreprocessResult};

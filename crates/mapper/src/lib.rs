@@ -1,0 +1,36 @@
+//! # `mapper` — k-LUT technology mapping with customisable cut costs
+//!
+//! The paper's third contribution is a *cost-customised* LUT mapper: instead
+//! of minimising area or delay, cuts are priced by the **branching
+//! complexity** of the function they implement (`|ISOP(f)| + |ISOP(¬f)|`,
+//! Fig. 3), so the mapped netlist — and hence the CNF produced by
+//! [`cnf::lut2cnf`] — presents the SAT solver with as few branchable
+//! alternatives as possible.
+//!
+//! * [`map_luts`] — priority-cut mapping with area-flow refinement,
+//! * [`CutCost`] — the pluggable pricing trait,
+//! * [`AreaCost`] — conventional pricing (the *C. Mapper* ablation arm),
+//! * [`BranchingCost`] — the paper's pricing.
+//!
+//! ```
+//! use aig::Aig;
+//! use mapper::{map_luts, BranchingCost, MapParams};
+//!
+//! let mut g = Aig::new();
+//! let pis = g.add_pis(6);
+//! let f = g.and_many(&pis);
+//! g.add_po(f);
+//! let net = map_luts(&g, &MapParams::default(), &BranchingCost::new());
+//! assert!(net.num_luts() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod mapping;
+mod stats;
+
+pub use cost::{AreaCost, BranchingCost, CutCost};
+pub use mapping::{map_luts, MapParams};
+pub use stats::MappingStats;

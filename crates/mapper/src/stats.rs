@@ -1,0 +1,148 @@
+//! Mapping-quality statistics — the quantities the evaluation reasons
+//! about, computed once per netlist.
+//!
+//! The paper's argument is that the *right* objective for SAT-oriented
+//! mapping is total branching complexity, not LUT count or depth. This
+//! module measures all three (plus the fanin histogram) so benches and
+//! reports can show the trade-off each cost model makes.
+
+use cnf::{LutNetlist, LutSignal};
+
+/// Aggregate statistics of a mapped netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MappingStats {
+    /// Number of LUTs (conventional "area").
+    pub luts: usize,
+    /// Logic depth in LUT levels.
+    pub depth: usize,
+    /// Total branching complexity (= CNF clauses `lut2cnf` will emit for
+    /// the LUT bodies).
+    pub branching: usize,
+    /// LUT-count histogram by fanin arity; `fanin_histogram[k]` counts
+    /// k-input LUTs.
+    pub fanin_histogram: Vec<usize>,
+    /// Mean branching complexity per LUT.
+    pub mean_branching: f64,
+}
+
+impl MappingStats {
+    /// Computes statistics for a netlist.
+    ///
+    /// ```
+    /// use aig::Aig;
+    /// use mapper::{map_luts, BranchingCost, MapParams, MappingStats};
+    ///
+    /// let mut g = Aig::new();
+    /// let pis = g.add_pis(6);
+    /// let x = g.xor_many(&pis);
+    /// g.add_po(x);
+    /// let net = map_luts(&g, &MapParams::default(), &BranchingCost::new());
+    /// let stats = MappingStats::of(&net);
+    /// assert!(stats.luts >= 2 && stats.depth >= 2);
+    /// assert!(stats.branching >= stats.luts);
+    /// ```
+    pub fn of(net: &LutNetlist) -> MappingStats {
+        let luts = net.num_luts();
+        let branching = net.total_branching_complexity();
+        let mut fanin_histogram = vec![0usize; net.max_fanin() + 1];
+        for lut in net.luts() {
+            fanin_histogram[lut.fanins.len()] += 1;
+        }
+        MappingStats {
+            luts,
+            depth: depth_of(net),
+            branching,
+            fanin_histogram,
+            mean_branching: if luts == 0 { 0.0 } else { branching as f64 / luts as f64 },
+        }
+    }
+}
+
+/// LUT-level depth: primary inputs are level 0, each LUT one more than its
+/// deepest fanin.
+fn depth_of(net: &LutNetlist) -> usize {
+    let n_in = net.num_inputs();
+    // Signal numbering: 0..n_in are inputs, n_in + i is LUT i.
+    let mut level = vec![0usize; n_in + net.num_luts()];
+    let of = |level: &[usize], s: &LutSignal| level[s.node as usize];
+    for (i, lut) in net.luts().iter().enumerate() {
+        let deepest = lut.fanins.iter().map(|f| of(&level, f)).max().unwrap_or(0);
+        level[n_in + i] = deepest + 1;
+    }
+    net.outputs().iter().map(|o| of(&level, o)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{map_luts, AreaCost, BranchingCost, MapParams};
+    use aig::Aig;
+
+    fn xor_tree(n: usize) -> Aig {
+        let mut g = Aig::new();
+        let pis = g.add_pis(n);
+        let x = g.xor_many(&pis);
+        g.add_po(x);
+        g
+    }
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        // A 16-input XOR with k=4 needs at least two LUT levels.
+        let g = xor_tree(16);
+        let net = map_luts(&g, &MapParams::default(), &AreaCost);
+        let s = MappingStats::of(&net);
+        assert!(s.depth >= 2, "16 inputs cannot fit one 4-LUT level: {s:?}");
+        assert!(s.luts >= 5, "16-input XOR needs ≥ 5 4-LUTs: {s:?}");
+    }
+
+    #[test]
+    fn branching_equals_netlist_total() {
+        let g = xor_tree(9);
+        let net = map_luts(&g, &MapParams::default(), &BranchingCost::new());
+        let s = MappingStats::of(&net);
+        assert_eq!(s.branching, net.total_branching_complexity());
+        assert!((s.mean_branching - s.branching as f64 / s.luts as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_lut_count() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(8);
+        let a = g.and_many(&pis[..5]);
+        let b = g.xor_many(&pis[3..]);
+        let f = g.or(a, b);
+        g.add_po(f);
+        let net = map_luts(&g, &MapParams::default(), &BranchingCost::new());
+        let s = MappingStats::of(&net);
+        assert_eq!(s.fanin_histogram.iter().sum::<usize>(), s.luts);
+        assert!(s.fanin_histogram.len() <= 5, "k=4 mapping: arity ≤ 4");
+    }
+
+    #[test]
+    fn empty_netlist_is_all_zero() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        g.add_po(a); // wire: no LUTs at all
+        let net = map_luts(&g, &MapParams::default(), &AreaCost);
+        let s = MappingStats::of(&net);
+        assert_eq!(s.luts, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.mean_branching, 0.0);
+    }
+
+    #[test]
+    fn branching_cost_trades_area_for_complexity_on_xor_logic() {
+        // On XOR-heavy logic the branching mapper may use more LUTs but
+        // must never produce *higher* total branching than the area mapper.
+        let g = xor_tree(24);
+        let area = MappingStats::of(&map_luts(&g, &MapParams::default(), &AreaCost));
+        let brch = MappingStats::of(&map_luts(&g, &MapParams::default(), &BranchingCost::new()));
+        assert!(
+            brch.branching <= area.branching,
+            "branching mapper lost its own objective: {} vs {}",
+            brch.branching,
+            area.branching
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Adam optimiser over an [`crate::mlp::Mlp`]'s parameters.
+
+use crate::mlp::{Gradients, Mlp};
+
+/// Adam state (first/second moments per parameter).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m_w: Vec<Vec<f64>>,
+    v_w: Vec<Vec<f64>>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates an optimiser for `net` with learning rate `lr` (the paper
+    /// trains with `1e-5`).
+    pub fn new(net: &Mlp, lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m_w: net.layers().iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect(),
+            v_w: net.layers().iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect(),
+            m_b: net.layers().iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            v_b: net.layers().iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Applies one Adam update with the given (summed) gradients.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match the network shape.
+    pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+            update(
+                layer.w.as_mut_slice(),
+                grads.w[li].as_slice(),
+                &mut self.m_w[li],
+                &mut self.v_w[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+            update(
+                &mut layer.b,
+                &grads.b[li],
+                &mut self.m_b[li],
+                &mut self.v_b[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update(
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    lr: f64,
+    b1: f64,
+    b2: f64,
+    eps: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    assert_eq!(params.len(), grads.len(), "gradient shape mismatch");
+    for i in 0..params.len() {
+        m[i] = b1 * m[i] + (1.0 - b1) * grads[i];
+        v[i] = b2 * v[i] + (1.0 - b2) * grads[i] * grads[i];
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        params[i] -= lr * mh / (vh.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam must drive a simple quadratic regression to low loss.
+    #[test]
+    fn fits_linear_function() {
+        let mut net = Mlp::new(&[2, 16, 1], 5);
+        let mut opt = Adam::new(&net, 0.01);
+        let samples: Vec<([f64; 2], f64)> = (0..50)
+            .map(|i| {
+                let x = [(i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0];
+                (x, 2.0 * x[0] - x[1] + 0.5)
+            })
+            .collect();
+        let loss_of = |net: &Mlp| -> f64 {
+            samples.iter().map(|(x, y)| (net.infer(x)[0] - y).powi(2)).sum::<f64>()
+                / samples.len() as f64
+        };
+        let initial = loss_of(&net);
+        for _ in 0..400 {
+            let mut grads = net.zero_grads();
+            for (x, y) in &samples {
+                let acts = net.forward(x);
+                let d = 2.0 * (acts.output()[0] - y) / samples.len() as f64;
+                net.backward(&acts, &[d], &mut grads);
+            }
+            opt.step(&mut net, &grads);
+        }
+        let fin = loss_of(&net);
+        assert!(fin < initial * 0.01, "loss {initial} -> {fin}");
+        assert!(fin < 1e-3, "final loss {fin}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's circuit feature vector `E(Gt)` (Sec. III-B2).
+//!
+//! Six scalar features describe the current netlist relative to the initial
+//! one: area/depth/wire ratios, AND/NOT gate proportions, and the average
+//! balance ratio of Eq. (1).
+
+use aig::Aig;
+
+/// Reference quantities of the initial netlist `G0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeatureBaseline {
+    /// AND-gate count of `G0`.
+    pub area: f64,
+    /// Depth of `G0`.
+    pub depth: f64,
+    /// Wire count of `G0`.
+    pub wires: f64,
+}
+
+impl FeatureBaseline {
+    /// Captures the baseline from the initial netlist.
+    pub fn of(g0: &Aig) -> FeatureBaseline {
+        FeatureBaseline {
+            area: g0.num_ands().max(1) as f64,
+            depth: g0.depth().max(1) as f64,
+            wires: wire_count(g0).max(1) as f64,
+        }
+    }
+}
+
+/// Wires: two fanin edges per AND gate plus one per PO.
+fn wire_count(g: &Aig) -> usize {
+    2 * g.num_ands() + g.num_pos()
+}
+
+/// Number of NOT "gates": complemented edges, as an inverter count.
+fn not_count(g: &Aig) -> usize {
+    let mut n = 0;
+    for v in g.iter_ands() {
+        let node = g.node(v);
+        n += node.fanin0().is_compl() as usize + node.fanin1().is_compl() as usize;
+    }
+    n + g.pos().iter().filter(|l| l.is_compl()).count()
+}
+
+/// The six features of Eq. (1)/(2):
+/// `[area_ratio, depth_ratio, wire_ratio, and_prop, not_prop, balance]`.
+pub fn circuit_features(gt: &Aig, base: &FeatureBaseline) -> [f64; 6] {
+    let ands = gt.num_ands();
+    let nots = not_count(gt);
+    let total_gates = (ands + nots).max(1);
+    let levels = gt.levels();
+    // Average balance ratio (Eq. 1).
+    let mut br_sum = 0.0;
+    for v in gt.iter_ands() {
+        let n = gt.node(v);
+        let d0 = levels[n.fanin0().var() as usize] as f64;
+        let d1 = levels[n.fanin1().var() as usize] as f64;
+        let m = d0.max(d1);
+        if m > 0.0 {
+            br_sum += (d0 - d1).abs() / m;
+        }
+    }
+    let br = if ands > 0 { br_sum / ands as f64 } else { 0.0 };
+    [
+        ands as f64 / base.area,
+        gt.depth() as f64 / base.depth,
+        wire_count(gt) as f64 / base.wires,
+        ands as f64 / total_gates as f64,
+        nots as f64 / total_gates as f64,
+        br,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Aig {
+        let mut g = Aig::new();
+        let pis = g.add_pis(n);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.and(acc, p);
+        }
+        g.add_po(acc);
+        g
+    }
+
+    #[test]
+    fn identity_ratios_are_one() {
+        let g = chain(8);
+        let base = FeatureBaseline::of(&g);
+        let f = circuit_features(&g, &base);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+        assert!((f[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_is_maximally_unbalanced() {
+        // In a pure chain, every gate (after the first) joins a depth-k
+        // subtree with a depth-0 leaf: balance ratio 1 for those gates.
+        let g = chain(10);
+        let f = circuit_features(&g, &FeatureBaseline::of(&g));
+        assert!(f[5] > 0.85, "balance ratio {}", f[5]);
+        // A balanced tree has much lower imbalance.
+        let mut g2 = Aig::new();
+        let pis = g2.add_pis(8);
+        let t = g2.and_many(&pis);
+        g2.add_po(t);
+        let f2 = circuit_features(&g2, &FeatureBaseline::of(&g2));
+        assert!(f2[5] < 0.2, "balanced tree ratio {}", f2[5]);
+    }
+
+    #[test]
+    fn gate_proportions_sum_to_one() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(!x);
+        let f = circuit_features(&g, &FeatureBaseline::of(&g));
+        assert!((f[3] + f[4] - 1.0).abs() < 1e-12);
+        assert!(f[4] > 0.0, "xor uses complemented edges");
+    }
+
+    #[test]
+    fn shrinking_reduces_area_ratio() {
+        let g = chain(16);
+        let base = FeatureBaseline::of(&g);
+        let smaller = chain(8);
+        let f = circuit_features(&smaller, &base);
+        assert!(f[0] < 1.0);
+    }
+}

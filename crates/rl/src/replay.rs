@@ -1,0 +1,103 @@
+//! Experience replay buffer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One transition `(s, a, r, s', done)`.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// State vector.
+    pub state: Vec<f64>,
+    /// Action index.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+    /// Next state (unused when `done`).
+    pub next_state: Vec<f64>,
+    /// Episode terminated after this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    buf: Vec<Transition>,
+    capacity: usize,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> ReplayBuffer {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer { buf: Vec::with_capacity(capacity), capacity, next: 0 }
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Inserts a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+        assert!(!self.buf.is_empty(), "cannot sample from an empty buffer");
+        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition { state: vec![r], action: 0, reward: r, next_state: vec![r], done: false }
+    }
+
+    #[test]
+    fn ring_eviction() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        // Oldest two evicted: remaining rewards are 2, 3, 4.
+        let rewards: Vec<f64> = b.buf.iter().map(|x| x.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = b.sample(32, &mut rng);
+        assert_eq!(s.len(), 32);
+        assert!(s.iter().all(|x| x.reward >= 0.0 && x.reward < 10.0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Clause storage.
+//!
+//! Clauses live in a single database indexed by [`ClauseRef`]. Learnt
+//! clauses carry an LBD ("glue") score and an activity used by the
+//! reduction policy. Deleted clauses are tombstoned and reclaimed by a
+//! periodic garbage collection that compacts the database and remaps
+//! references.
+
+use crate::types::{ClauseRef, Lit};
+
+/// One stored clause.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    /// Literal-block distance at learning time (0 for problem clauses).
+    pub lbd: u32,
+    /// Bump-and-decay activity for reduction tie-breaking.
+    pub activity: f32,
+    /// True for learnt (redundant) clauses.
+    pub learnt: bool,
+    /// Tombstone flag; set by deletion, cleared by GC.
+    pub deleted: bool,
+}
+
+impl Clause {
+    /// The literals; the first two are the watched ones.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mutable literal access (used by propagation to reorder watches).
+    #[inline]
+    pub fn lits_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// True when the clause has no literals (never stored; helper for
+    /// completeness).
+    #[inline]
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+}
+
+/// The clause database.
+#[derive(Clone, Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Count of live learnt clauses.
+    pub num_learnt: usize,
+    /// Count of live problem clauses.
+    pub num_problem: usize,
+    freed: usize,
+}
+
+impl ClauseDb {
+    /// An empty database.
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    /// Adds a clause and returns its reference.
+    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let r = ClauseRef(self.clauses.len() as u32);
+        self.clauses.push(Clause { lits, lbd, activity: 0.0, learnt, deleted: false });
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        r
+    }
+
+    /// Immutable access.
+    #[inline]
+    pub fn get(&self, r: ClauseRef) -> &Clause {
+        &self.clauses[r.0 as usize]
+    }
+
+    /// Mutable access.
+    #[inline]
+    pub fn get_mut(&mut self, r: ClauseRef) -> &mut Clause {
+        &mut self.clauses[r.0 as usize]
+    }
+
+    /// Tombstones a clause. The slot is reclaimed by [`ClauseDb::collect`].
+    pub fn delete(&mut self, r: ClauseRef) {
+        let c = &mut self.clauses[r.0 as usize];
+        debug_assert!(!c.deleted, "double delete");
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_problem -= 1;
+        }
+        self.freed += c.lits.len();
+    }
+
+    /// All live clause references.
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Literal count waiting to be reclaimed.
+    pub fn wasted(&self) -> usize {
+        self.freed
+    }
+
+    /// Compacts the database, dropping tombstones. Returns the remapping
+    /// `old -> new` (entries for deleted clauses are `ClauseRef::UNDEF`).
+    pub fn collect(&mut self) -> Vec<ClauseRef> {
+        let mut remap = vec![ClauseRef::UNDEF; self.clauses.len()];
+        let mut next = 0usize;
+        for i in 0..self.clauses.len() {
+            if self.clauses[i].deleted {
+                continue;
+            }
+            remap[i] = ClauseRef(next as u32);
+            self.clauses.swap(next, i);
+            next += 1;
+        }
+        self.clauses.truncate(next);
+        self.freed = 0;
+        remap
+    }
+
+    /// Total live clauses.
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn len(&self) -> usize {
+        self.num_learnt + self.num_problem
+    }
+
+    /// True when no live clauses exist.
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(v: &[i32]) -> Vec<Lit> {
+        v.iter().map(|&x| Lit::new(x.unsigned_abs() - 1, x > 0)).collect()
+    }
+
+    #[test]
+    fn add_get_delete() {
+        let mut db = ClauseDb::new();
+        let a = db.add(lits(&[1, 2]), false, 0);
+        let b = db.add(lits(&[1, -3, 4]), true, 2);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(a).len(), 2);
+        assert!(db.get(b).learnt);
+        db.delete(a);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.num_problem, 0);
+        assert_eq!(db.iter_refs().count(), 1);
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut db = ClauseDb::new();
+        assert!(db.is_empty());
+        let a = db.add(lits(&[1, 2]), false, 0);
+        assert!(!db.is_empty());
+        assert!(!db.get(a).is_empty());
+        db.delete(a);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn collect_remaps() {
+        let mut db = ClauseDb::new();
+        let a = db.add(lits(&[1, 2]), false, 0);
+        let b = db.add(lits(&[2, 3]), false, 0);
+        let c = db.add(lits(&[3, 4]), false, 0);
+        db.delete(b);
+        let remap = db.collect();
+        assert_eq!(remap[a.0 as usize], ClauseRef(0));
+        assert_eq!(remap[b.0 as usize], ClauseRef::UNDEF);
+        let c2 = remap[c.0 as usize];
+        assert_eq!(db.get(c2).lits(), lits(&[3, 4]).as_slice());
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.wasted(), 0);
+    }
+}

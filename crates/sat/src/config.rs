@@ -1,0 +1,136 @@
+//! Solver configuration and the two paper-substitute presets.
+
+/// Restart strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RestartStrategy {
+    /// Luby sequence scaled by `base` conflicts (MiniSat/Kissat style).
+    Luby {
+        /// Conflicts per Luby unit.
+        base: u64,
+    },
+    /// Glucose-style exponential moving averages of learnt-clause LBD:
+    /// restart when `fast > margin * slow` after at least `min_interval`
+    /// conflicts (CaDiCaL's focused mode).
+    Glucose {
+        /// Fast EMA smoothing (as a negative power of two, e.g. 5 = 2^-5).
+        fast_shift: u32,
+        /// Slow EMA smoothing (e.g. 14 = 2^-14).
+        slow_shift: u32,
+        /// Restart margin.
+        margin: f64,
+        /// Minimum conflicts between restarts.
+        min_interval: u64,
+    },
+}
+
+/// Full solver configuration.
+///
+/// The two presets stand in for the two solvers of the paper's evaluation
+/// (Fig. 4a Kissat, Fig. 4c CaDiCaL): both are faithful CDCL configurations
+/// that differ in restart policy, decay rates, and reduction cadence — the
+/// dimensions along which the real solvers differ most.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// EVSIDS variable-activity decay factor.
+    pub var_decay: f64,
+    /// Learnt-clause activity decay factor.
+    pub clause_decay: f64,
+    /// Restart strategy.
+    pub restart: RestartStrategy,
+    /// Conflicts before the first clause-database reduction.
+    pub reduce_first: u64,
+    /// Additional conflicts before each subsequent reduction.
+    pub reduce_increment: u64,
+    /// Learnt clauses with LBD at most this are never deleted.
+    pub keep_lbd: u32,
+    /// Use saved phases for decision polarity.
+    pub phase_saving: bool,
+    /// Polarity used before a variable has a saved phase.
+    pub default_phase: bool,
+}
+
+impl SolverConfig {
+    /// Aggressively restarting preset standing in for **Kissat 4.0**.
+    pub fn kissat_like() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart: RestartStrategy::Luby { base: 256 },
+            reduce_first: 2000,
+            reduce_increment: 1000,
+            keep_lbd: 2,
+            phase_saving: true,
+            default_phase: false,
+        }
+    }
+
+    /// Glucose-EMA preset standing in for **CaDiCaL 2.0**.
+    pub fn cadical_like() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.92,
+            clause_decay: 0.995,
+            restart: RestartStrategy::Glucose {
+                fast_shift: 5,
+                slow_shift: 12,
+                margin: 1.25,
+                min_interval: 64,
+            },
+            reduce_first: 3000,
+            reduce_increment: 1500,
+            keep_lbd: 3,
+            phase_saving: true,
+            default_phase: true,
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig::kissat_like()
+    }
+}
+
+/// Resource limits for one `solve()` call.
+///
+/// Exceeding any limit makes the solver return
+/// [`crate::SolveResult::Unknown`]. The decision budget is the natural
+/// companion of the paper's branching-count metric.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum conflicts.
+    pub conflicts: Option<u64>,
+    /// Maximum decisions (branchings).
+    pub decisions: Option<u64>,
+    /// Maximum unit propagations.
+    pub propagations: Option<u64>,
+}
+
+impl Budget {
+    /// No limits.
+    pub const UNLIMITED: Budget = Budget { conflicts: None, decisions: None, propagations: None };
+
+    /// A conflict-count limit only.
+    pub fn conflicts(n: u64) -> Budget {
+        Budget { conflicts: Some(n), ..Budget::UNLIMITED }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let k = SolverConfig::kissat_like();
+        let c = SolverConfig::cadical_like();
+        assert_ne!(k.restart, c.restart);
+        assert_ne!(k.var_decay, c.var_decay);
+    }
+
+    #[test]
+    fn budget_helpers() {
+        let b = Budget::conflicts(100);
+        assert_eq!(b.conflicts, Some(100));
+        assert!(b.decisions.is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Indexed max-heap ordered by variable activity (the EVSIDS order).
+
+use crate::types::Var;
+
+/// A binary max-heap over variable indices with O(log n) decrease/increase
+/// via a position index, as used by every MiniSat descendant.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// An empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Grows the position index to cover variables `0..n`.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    /// True if the heap has no elements.
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos.get(v as usize).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` (no-op if present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v as usize + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v as usize) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap order from scratch (after a global rescale the
+    /// relative order is unchanged, so this is rarely needed).
+    #[allow(dead_code)] // exercised by tests; kept for API completeness
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let vars: Vec<Var> = self.heap.clone();
+        self.heap.clear();
+        for p in self.pos.iter_mut() {
+            *p = ABSENT;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i;
+        self.pos[self.heap[j] as usize] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        for v in 0..4 {
+            h.insert(v, &act);
+        }
+        let order: Vec<Var> = std::iter::from_fn(|| h.pop(&act)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        act[0] = 10.0;
+        h.update(0, &act);
+        assert_eq!(h.pop(&act), Some(0));
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let act = vec![1.0; 3];
+        let mut h = VarHeap::new();
+        h.insert(1, &act);
+        h.insert(1, &act);
+        assert_eq!(h.pop(&act), Some(1));
+        assert!(h.pop(&act).is_none());
+    }
+
+    #[test]
+    fn empty_and_rebuild() {
+        let mut act = vec![1.0, 5.0, 3.0];
+        let mut h = VarHeap::new();
+        assert!(h.is_empty());
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        assert!(!h.is_empty());
+        // Rescale activities and rebuild: order is preserved.
+        for a in &mut act {
+            *a *= 0.5;
+        }
+        h.rebuild(&act);
+        assert_eq!(h.pop(&act), Some(1));
+        assert_eq!(h.pop(&act), Some(2));
+        assert_eq!(h.pop(&act), Some(0));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let act = vec![1.0; 4];
+        let mut h = VarHeap::new();
+        assert!(!h.contains(2));
+        h.insert(2, &act);
+        assert!(h.contains(2));
+        h.pop(&act);
+        assert!(!h.contains(2));
+    }
+
+    #[test]
+    fn stress_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 200;
+        let act: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mut h = VarHeap::new();
+        for v in 0..n as Var {
+            h.insert(v, &act);
+        }
+        let mut prev = f64::INFINITY;
+        while let Some(v) = h.pop(&act) {
+            assert!(act[v as usize] <= prev);
+            prev = act[v as usize];
+        }
+    }
+}

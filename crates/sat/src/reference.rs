@@ -1,0 +1,161 @@
+//! A deliberately simple DPLL oracle for cross-checking the CDCL engine.
+//!
+//! No learning, no heuristics beyond unit propagation — slow but easy to
+//! audit, which is exactly what a differential-testing reference should be.
+
+use cnf::Cnf;
+
+/// Decides satisfiability by plain DPLL with unit propagation.
+///
+/// Intended for small formulas (tens of variables) in tests.
+pub fn dpll_sat(formula: &Cnf) -> bool {
+    let clauses: Vec<Vec<i32>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+        .collect();
+    let mut assign = vec![0i8; formula.num_vars() as usize + 1]; // 0 undef, 1 true, -1 false
+    dpll(&clauses, &mut assign)
+}
+
+fn dpll(clauses: &[Vec<i32>], assign: &mut [i8]) -> bool {
+    // Unit propagation to fixpoint.
+    let mut forced: Vec<i32> = Vec::new();
+    loop {
+        let mut changed = false;
+        for c in clauses {
+            let mut unassigned: Option<i32> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match value(assign, l) {
+                    1 => {
+                        satisfied = true;
+                        break;
+                    }
+                    0 => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    _ => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Conflict: roll back forced assignments.
+                    for l in forced {
+                        assign[l.unsigned_abs() as usize] = 0;
+                    }
+                    return false;
+                }
+                1 => {
+                    let l = unassigned.expect("unit literal");
+                    assign[l.unsigned_abs() as usize] = if l > 0 { 1 } else { -1 };
+                    forced.push(l);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Pick an unassigned variable.
+    let var = (1..assign.len()).find(|&v| assign[v] == 0);
+    let result = match var {
+        None => true, // all assigned, no conflict: satisfiable
+        Some(v) => {
+            let branch = |val: i8, assign: &mut [i8]| {
+                assign[v] = val;
+                let r = dpll(clauses, assign);
+                if !r {
+                    assign[v] = 0;
+                }
+                r
+            };
+            branch(1, assign) || branch(-1, assign)
+        }
+    };
+    if !result {
+        for l in forced {
+            assign[l.unsigned_abs() as usize] = 0;
+        }
+    }
+    result
+}
+
+fn value(assign: &[i8], l: i32) -> i8 {
+    let v = assign[l.unsigned_abs() as usize];
+    if l > 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::CnfLit;
+
+    fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&x| CnfLit::from_dimacs(x)).collect());
+        }
+        f
+    }
+
+    #[test]
+    fn basic() {
+        assert!(dpll_sat(&cnf_of(&[&[1, 2], &[-1]])));
+        assert!(!dpll_sat(&cnf_of(&[&[1], &[-1]])));
+        assert!(dpll_sat(&cnf_of(&[])));
+    }
+
+    #[test]
+    fn php32_unsat() {
+        assert!(!dpll_sat(&cnf_of(&[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ])));
+    }
+
+    #[test]
+    fn exhaustive_cross_check_tiny() {
+        // All 3-var formulas with exactly 3 ternary clauses drawn from a
+        // fixed pool, compared against brute force.
+        let pool: Vec<Vec<i32>> = vec![
+            vec![1, 2, 3],
+            vec![-1, 2, -3],
+            vec![1, -2, 3],
+            vec![-1, -2, -3],
+            vec![1, -2, -3],
+            vec![-1, 2, 3],
+        ];
+        for a in 0..pool.len() {
+            for b in 0..pool.len() {
+                for c in 0..pool.len() {
+                    let cl = [&pool[a][..], &pool[b][..], &pool[c][..]];
+                    let f = cnf_of(&cl);
+                    let brute = (0..8u32).any(|m| {
+                        let assignment: Vec<bool> = (0..3).map(|i| m >> i & 1 != 0).collect();
+                        f.eval(&assignment)
+                    });
+                    assert_eq!(dpll_sat(&f), brute, "{cl:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Restart policies: the scaled Luby sequence and Glucose-style LBD EMAs.
+
+use crate::config::RestartStrategy;
+
+/// The Luby sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...` (1-based index).
+///
+/// ```
+/// use sat::restart::luby;
+/// assert_eq!((1..=9).map(luby).collect::<Vec<_>>(),
+///            vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut x = i - 1; // 0-based index, as in MiniSat
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Stateful restart scheduler driven by conflicts.
+#[derive(Clone, Debug)]
+pub struct RestartPolicy {
+    strategy: RestartStrategy,
+    conflicts_since_restart: u64,
+    restarts: u64,
+    /// Current Luby target (conflicts until next restart).
+    luby_target: u64,
+    fast_ema: f64,
+    slow_ema: f64,
+    total_conflicts: u64,
+}
+
+impl RestartPolicy {
+    /// Creates a scheduler for the given strategy.
+    pub fn new(strategy: RestartStrategy) -> RestartPolicy {
+        let luby_target = match strategy {
+            RestartStrategy::Luby { base } => base * luby(1),
+            _ => 0,
+        };
+        RestartPolicy {
+            strategy,
+            conflicts_since_restart: 0,
+            restarts: 0,
+            luby_target,
+            fast_ema: 0.0,
+            slow_ema: 0.0,
+            total_conflicts: 0,
+        }
+    }
+
+    /// Records one conflict and its learnt-clause LBD.
+    pub fn on_conflict(&mut self, lbd: u32) {
+        self.conflicts_since_restart += 1;
+        self.total_conflicts += 1;
+        if let RestartStrategy::Glucose { fast_shift, slow_shift, .. } = self.strategy {
+            let l = lbd as f64;
+            // Cheap EMA initialisation: use plain averages early on.
+            let fa = 1.0 / (1u64 << fast_shift) as f64;
+            let sa = 1.0 / (1u64 << slow_shift) as f64;
+            let fa = fa.max(1.0 / self.total_conflicts as f64);
+            let sa = sa.max(1.0 / self.total_conflicts as f64);
+            self.fast_ema += fa * (l - self.fast_ema);
+            self.slow_ema += sa * (l - self.slow_ema);
+        }
+    }
+
+    /// Whether a restart should happen now.
+    pub fn should_restart(&self) -> bool {
+        match self.strategy {
+            RestartStrategy::Luby { .. } => self.conflicts_since_restart >= self.luby_target,
+            RestartStrategy::Glucose { margin, min_interval, .. } => {
+                self.conflicts_since_restart >= min_interval
+                    && self.fast_ema > margin * self.slow_ema
+            }
+        }
+    }
+
+    /// Records a performed restart and schedules the next one.
+    pub fn on_restart(&mut self) {
+        self.restarts += 1;
+        self.conflicts_since_restart = 0;
+        if let RestartStrategy::Luby { base } = self.strategy {
+            self.luby_target = base * luby(self.restarts + 1);
+        }
+    }
+
+    /// Restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn luby_policy_cadence() {
+        let mut p = RestartPolicy::new(RestartStrategy::Luby { base: 2 });
+        // First restart after base * luby(1) = 2 conflicts.
+        p.on_conflict(3);
+        assert!(!p.should_restart());
+        p.on_conflict(3);
+        assert!(p.should_restart());
+        p.on_restart();
+        // Next after 2 * luby(2) = 2.
+        p.on_conflict(3);
+        assert!(!p.should_restart());
+        p.on_conflict(3);
+        assert!(p.should_restart());
+        p.on_restart();
+        // Next after 2 * luby(3) = 4.
+        for _ in 0..3 {
+            p.on_conflict(3);
+            assert!(!p.should_restart());
+        }
+        p.on_conflict(3);
+        assert!(p.should_restart());
+    }
+
+    #[test]
+    fn glucose_restarts_on_high_lbd_burst() {
+        let strat = RestartStrategy::Glucose {
+            fast_shift: 2,
+            slow_shift: 8,
+            margin: 1.25,
+            min_interval: 4,
+        };
+        let mut p = RestartPolicy::new(strat);
+        // Long calm phase with low LBD.
+        for _ in 0..200 {
+            p.on_conflict(2);
+        }
+        assert!(!p.should_restart());
+        // Burst of bad (high-LBD) conflicts triggers a restart.
+        for _ in 0..8 {
+            p.on_conflict(20);
+        }
+        assert!(p.should_restart());
+        p.on_restart();
+        assert_eq!(p.restarts(), 1);
+    }
+}

@@ -1,0 +1,992 @@
+//! The CDCL search engine.
+//!
+//! A MiniSat-lineage solver: two-watched-literal propagation with blockers,
+//! EVSIDS branching, phase saving, first-UIP conflict analysis with
+//! recursive clause minimisation, LBD-aware clause-database reduction, and
+//! pluggable restart policies. Decision counts — the paper's branching
+//! metric — are first-class statistics.
+
+use crate::clause::ClauseDb;
+use crate::config::{Budget, SolverConfig};
+use crate::heap::VarHeap;
+use crate::restart::RestartPolicy;
+use crate::stats::Stats;
+use crate::types::{ClauseRef, LBool, Lit, Var};
+use cnf::{Cnf, CnfLit};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a full model (`model[v]` = value of 0-based var `v`).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted before an answer was found.
+    Unknown,
+}
+
+impl SolveResult {
+    /// True for [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// True for [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// ```
+/// use cnf::{Cnf, CnfLit};
+/// use sat::{Solver, SolverConfig};
+///
+/// let mut f = Cnf::new();
+/// f.add_clause(vec![CnfLit::pos(1), CnfLit::pos(2)]);
+/// f.add_clause(vec![CnfLit::neg(1)]);
+/// let mut solver = Solver::from_cnf(&f, SolverConfig::default());
+/// let result = solver.solve();
+/// assert!(result.is_sat());
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    budget: Budget,
+    stats: Stats,
+
+    db: ClauseDb,
+    /// Watch lists indexed by `Lit::index()`: clauses that must be checked
+    /// when that literal becomes **true** (they watch its negation).
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f32,
+    order: VarHeap,
+    phase: Vec<bool>,
+
+    restart: RestartPolicy,
+    next_reduce: u64,
+    reduce_count: u64,
+
+    /// False once the formula is known UNSAT at level 0.
+    ok: bool,
+
+    // Analysis scratch space.
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Var>,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new(config: SolverConfig) -> Solver {
+        let restart = RestartPolicy::new(config.restart);
+        let next_reduce = config.reduce_first;
+        Solver {
+            config,
+            budget: Budget::UNLIMITED,
+            stats: Stats::default(),
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            phase: Vec::new(),
+            restart,
+            next_reduce,
+            reduce_count: 0,
+            ok: true,
+            seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+        }
+    }
+
+    /// Creates a solver pre-loaded with a formula.
+    pub fn from_cnf(formula: &Cnf, config: SolverConfig) -> Solver {
+        let mut s = Solver::new(config);
+        s.add_cnf(formula);
+        s
+    }
+
+    /// Sets resource limits for subsequent [`Solver::solve`] calls.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assigns.len() < n {
+            let v = self.assigns.len() as Var;
+            self.assigns.push(LBool::Undef);
+            self.level.push(0);
+            self.reason.push(ClauseRef::UNDEF);
+            self.activity.push(0.0);
+            self.phase.push(self.config.default_phase);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.order.insert(v, &self.activity);
+        }
+    }
+
+    /// Loads every clause of a [`Cnf`].
+    pub fn add_cnf(&mut self, formula: &Cnf) {
+        self.ensure_vars(formula.num_vars() as usize);
+        for clause in formula.clauses() {
+            self.add_clause_cnf(clause);
+        }
+    }
+
+    /// Adds one clause in DIMACS-literal form.
+    pub fn add_clause_cnf(&mut self, clause: &[CnfLit]) {
+        let lits: Vec<Lit> = clause.iter().map(|&l| Lit::from_cnf(l)).collect();
+        self.add_clause(lits);
+    }
+
+    /// Adds one clause in internal-literal form. Must be called at decision
+    /// level 0 (i.e. before or between `solve()` calls).
+    ///
+    /// # Panics
+    /// Panics if called with outstanding decisions.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        if !self.ok {
+            return;
+        }
+        let max_var = lits.iter().map(|l| l.var() as usize + 1).max().unwrap_or(0);
+        self.ensure_vars(max_var);
+
+        // Normalise: sort/dedup, drop false literals, detect tautology and
+        // satisfied clauses under the level-0 assignment.
+        lits.sort_unstable();
+        lits.dedup();
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return; // tautology (sorted order puts var's lits adjacent)
+            }
+            match self.value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False => {}     // drop the false literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(simplified[0], ClauseRef::UNDEF);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.db.add(simplified, false, 0);
+                self.attach(cref);
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let (l0, l1) = (c.lits()[0], c.lits()[1]);
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var() as usize].xor(!l.is_positive())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.max_trail = self.stats.max_trail.max(self.trail.len());
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut i = 0;
+            let mut j = 0;
+            // Take the list out to sidestep aliasing; it is pushed back
+            // compacted at the end.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let n = ws.len();
+            'watchers: while i < n {
+                let w = ws[i];
+                i += 1;
+                // Blocker short-circuit.
+                if self.value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                let clause = self.db.get_mut(w.cref);
+                let lits = clause.lits_mut();
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
+                if first != w.blocker && self.assigns[first.var() as usize].xor(!first.is_positive()) == LBool::True {
+                    ws[j] = Watcher { cref: w.cref, blocker: first };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..lits.len() {
+                    let lk = lits[k];
+                    if self.assigns[lk.var() as usize].xor(!lk.is_positive()) != LBool::False {
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[(!new_watch).index()]
+                            .push(Watcher { cref: w.cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: the clause is unit or conflicting.
+                ws[j] = Watcher { cref: w.cref, blocker: first };
+                j += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: restore the remaining watchers and bail out.
+                    while i < n {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.unchecked_enqueue(first, w.cref);
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::UNDEF]; // slot 0 for the UIP
+        let mut path_count = 0u32;
+        let mut p = Lit::UNDEF;
+        let mut index = self.trail.len();
+
+        loop {
+            debug_assert!(!confl.is_undef(), "reason must exist on the path");
+            self.bump_clause(confl);
+            let clause = self.db.get(confl);
+            let start = if p == Lit::UNDEF { 0 } else { 1 };
+            // Collect literals (excluding the resolved one at slot 0).
+            let clause_lits: Vec<Lit> = clause.lits()[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next literal to resolve on: last seen literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            p = self.trail[index];
+            confl = self.reason[p.var() as usize];
+            self.seen[p.var() as usize] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+        }
+        learnt[0] = !p;
+
+        // Minimise: drop literals implied by the rest of the clause.
+        let abstract_levels =
+            learnt[1..].iter().fold(0u64, |acc, l| acc | level_abstraction(self.level[l.var() as usize]));
+        let to_clear: Vec<Var> = learnt[1..].iter().map(|l| l.var()).collect();
+        let before = learnt.len();
+        let mut kept = vec![learnt[0]];
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            if self.reason[l.var() as usize].is_undef() || !self.lit_redundant(l, abstract_levels) {
+                kept.push(l);
+            }
+        }
+        self.stats.minimized_literals += (before - kept.len()) as u64;
+        let mut learnt = kept;
+
+        // Clear every seen flag set during analysis and minimisation.
+        for v in to_clear {
+            self.seen[v as usize] = false;
+        }
+        for v in self.analyze_clear.drain(..) {
+            self.seen[v as usize] = false;
+        }
+
+        // Backtrack level: second-highest decision level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+
+        let lbd = self.compute_lbd(&learnt);
+        (learnt, bt_level, lbd)
+    }
+
+    /// True if `l` is implied by the remaining learnt literals (recursive
+    /// minimisation check, iterative formulation).
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u64) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let mut pending: Vec<Var> = Vec::new();
+        while let Some(q) = self.analyze_stack.pop() {
+            let reason = self.reason[q.var() as usize];
+            debug_assert!(!reason.is_undef());
+            let clause = self.db.get(reason);
+            for &r in &clause.lits()[1..] {
+                let v = r.var() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v].is_undef()
+                    || level_abstraction(self.level[v]) & abstract_levels == 0
+                {
+                    // Hit a decision or a level outside the clause: not
+                    // redundant. Roll back the speculative seen marks.
+                    for v in pending {
+                        self.seen[v as usize] = false;
+                    }
+                    return false;
+                }
+                self.seen[v] = true;
+                pending.push(r.var());
+                self.analyze_stack.push(r);
+            }
+        }
+        // Keep speculative marks; record them for final cleanup.
+        self.analyze_clear.extend(pending);
+        true
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> =
+            lits.iter().map(|l| self.level[l.var() as usize]).filter(|&lv| lv > 0).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let cut = self.trail_lim[target as usize];
+        for &l in &self.trail[cut..] {
+            let v = l.var() as usize;
+            if self.config.phase_saving {
+                self.phase[v] = l.is_positive();
+            }
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = ClauseRef::UNDEF;
+            if !self.order.contains(l.var()) {
+                self.order.insert(l.var(), &self.activity);
+            }
+        }
+        self.trail.truncate(cut);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = cut;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.cla_inc;
+        let c = self.db.get_mut(cref);
+        if !c.learnt {
+            return;
+        }
+        c.activity += inc;
+        if c.activity > 1e20 {
+            for r in self.db.iter_refs().collect::<Vec<_>>() {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay as f32;
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// True if a reason clause is locked (is the reason of its first lit).
+    fn locked(&self, cref: ClauseRef) -> bool {
+        let c = self.db.get(cref);
+        let l0 = c.lits()[0];
+        self.value(l0) == LBool::True && self.reason[l0.var() as usize] == cref
+    }
+
+    fn reduce_db(&mut self) {
+        let keep_lbd = self.config.keep_lbd;
+        let mut candidates: Vec<ClauseRef> = self
+            .db
+            .iter_refs()
+            .filter(|&r| {
+                let c = self.db.get(r);
+                c.learnt && c.lbd > keep_lbd && !self.locked(r)
+            })
+            .collect();
+        // Delete the worse half: high LBD first, then low activity.
+        candidates.sort_by(|&a, &b| {
+            let (ca, cb) = (self.db.get(a), self.db.get(b));
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let to_delete = candidates.len() / 2;
+        for &r in &candidates[..to_delete] {
+            self.detach(r);
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+        // Compact when a third of the database is tombstones.
+        if self.db.wasted() > 0 && to_delete > 0 {
+            self.garbage_collect();
+        }
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let (l0, l1) = (c.lits()[0], c.lits()[1]);
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+    }
+
+    fn garbage_collect(&mut self) {
+        let remap = self.db.collect();
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                w.cref = remap[w.cref.0 as usize];
+                debug_assert!(!w.cref.is_undef(), "watched clause must survive GC");
+            }
+        }
+        for r in &mut self.reason {
+            if !r.is_undef() {
+                *r = remap[r.0 as usize];
+            }
+        }
+        self.stats.gcs += 1;
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        let b = &self.budget;
+        b.conflicts.is_some_and(|m| self.stats.conflicts >= m)
+            || b.decisions.is_some_and(|m| self.stats.decisions >= m)
+            || b.propagations.is_some_and(|m| self.stats.propagations >= m)
+    }
+
+    /// Runs CDCL search to completion or budget exhaustion.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under assumptions — the incremental interface.
+    ///
+    /// The assumptions are installed as the first decisions, in order
+    /// (MiniSat-style). [`SolveResult::Unsat`] then means *unsatisfiable
+    /// under the assumptions*; the solver remains usable, keeps its learnt
+    /// clauses, and can be re-queried with different assumptions or after
+    /// [`Solver::add_clause`]. A `Sat` model satisfies every assumption.
+    ///
+    /// ```
+    /// use cnf::{Cnf, CnfLit};
+    /// use sat::{Solver, SolveResult, SolverConfig};
+    ///
+    /// let mut f = Cnf::new();
+    /// f.add_clause(vec![CnfLit::neg(1), CnfLit::pos(2)]); // 1 -> 2
+    /// let mut s = Solver::from_cnf(&f, SolverConfig::default());
+    /// assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::pos(2)]).is_sat());
+    /// assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(2)]).is_unsat());
+    /// assert!(s.solve().is_sat()); // still satisfiable without assumptions
+    /// ```
+    pub fn solve_with_assumptions(&mut self, assumptions: &[CnfLit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let assumed: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_cnf(l)).collect();
+        let max_var = assumed.iter().map(|l| l.var() as usize + 1).max().unwrap_or(0);
+        self.ensure_vars(max_var);
+        self.seen.resize(self.num_vars(), false);
+        // Top-level propagation of any pending units.
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], ClauseRef::UNDEF);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.db.add(learnt, true, lbd);
+                    self.attach(cref);
+                    self.unchecked_enqueue(asserting, cref);
+                }
+                self.stats.learnt_clauses += 1;
+                self.decay_activities();
+                self.restart.on_conflict(lbd);
+                if self.stats.conflicts >= self.next_reduce {
+                    self.reduce_count += 1;
+                    self.next_reduce =
+                        self.stats.conflicts + self.config.reduce_first
+                            + self.reduce_count * self.config.reduce_increment;
+                    self.reduce_db();
+                }
+                if self.budget_exhausted() {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
+            } else {
+                if self.restart.should_restart() && self.decision_level() > 0 {
+                    self.restart.on_restart();
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                    continue;
+                }
+                // Install pending assumptions as the first decisions.
+                if (self.decision_level() as usize) < assumed.len() {
+                    let a = assumed[self.decision_level() as usize];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already implied: open an empty level so the
+                            // level-to-assumption alignment is kept.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Failed assumption: UNSAT under assumptions.
+                            self.backtrack(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, ClauseRef::UNDEF);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_lit() {
+                    None => {
+                        // All variables assigned: extract the model.
+                        let model = self
+                            .assigns
+                            .iter()
+                            .map(|&a| a == LBool::True)
+                            .collect::<Vec<bool>>();
+                        self.backtrack(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(l) => {
+                        if self.budget_exhausted() {
+                            self.backtrack(0);
+                            return SolveResult::Unknown;
+                        }
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, ClauseRef::UNDEF);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn level_abstraction(level: u32) -> u64 {
+    1u64 << (level & 63)
+}
+
+/// Solves a formula with a fresh solver; convenience for pipelines.
+///
+/// Returns the result together with the solver statistics (whose
+/// `decisions` field is the paper's branching count).
+pub fn solve_cnf(formula: &Cnf, config: SolverConfig, budget: Budget) -> (SolveResult, Stats) {
+    let mut s = Solver::from_cnf(formula, config);
+    s.set_budget(budget);
+    let r = s.solve();
+    (r, *s.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Cnf;
+
+    fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&x| CnfLit::from_dimacs(x)).collect());
+        }
+        f
+    }
+
+    fn check_sat(clauses: &[&[i32]]) -> Vec<bool> {
+        let f = cnf_of(clauses);
+        let (r, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        match r {
+            SolveResult::Sat(m) => {
+                assert!(f.eval(&m), "model must satisfy the formula");
+                m
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    fn check_unsat(clauses: &[&[i32]]) {
+        let f = cnf_of(clauses);
+        let (r, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        check_sat(&[&[1]]);
+        check_sat(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        check_unsat(&[&[1], &[-1]]);
+    }
+
+    #[test]
+    fn unit_chain() {
+        // 1 -> 2 -> 3 -> ... -> 8, with 1 forced.
+        check_sat(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4], &[-4, 5], &[-5, 6], &[-6, 7], &[-7, 8]]);
+    }
+
+    #[test]
+    fn classic_unsat_php_3_2() {
+        // Pigeonhole 3 pigeons, 2 holes. Var p_ij = pigeon i in hole j.
+        // Vars: 1..6 (pigeon-major).
+        check_unsat(&[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ]);
+    }
+
+    #[test]
+    fn both_presets_agree() {
+        let f = cnf_of(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]]);
+        for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
+            let (r, _) = solve_cnf(&f, cfg, Budget::UNLIMITED);
+            assert!(r.is_sat());
+        }
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        // A hard-ish random instance with an impossible budget.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 60;
+        let mut f = Cnf::new();
+        for _ in 0..(n as f64 * 4.26) as usize {
+            let mut c = Vec::new();
+            while c.len() < 3 {
+                let v = rng.gen_range(1..=n);
+                let l = CnfLit::new(v, rng.gen());
+                if !c.contains(&l) && !c.contains(&!l) {
+                    c.push(l);
+                }
+            }
+            f.add_clause(c);
+        }
+        let (r, stats) = solve_cnf(&f, SolverConfig::default(), Budget { decisions: Some(3), ..Budget::UNLIMITED });
+        if r == SolveResult::Unknown {
+            assert!(stats.decisions >= 3);
+        }
+    }
+
+    #[test]
+    fn decisions_counted() {
+        let f = cnf_of(&[&[1, 2], &[3, 4]]);
+        let (r, stats) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        assert!(r.is_sat());
+        assert!(stats.decisions >= 1, "free variables require branching");
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new(SolverConfig::default());
+        s.add_clause_cnf(&[CnfLit::pos(1), CnfLit::pos(2)]);
+        assert!(s.solve().is_sat());
+        s.add_clause_cnf(&[CnfLit::neg(1)]);
+        s.add_clause_cnf(&[CnfLit::neg(2)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn random_3sat_cross_checked_with_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for iter in 0..60 {
+            let n = rng.gen_range(3..=12);
+            let m = (n as f64 * rng.gen_range(3.0..5.5)) as usize;
+            let mut f = Cnf::new();
+            f.ensure_vars(n);
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3);
+                let mut c: Vec<CnfLit> = Vec::new();
+                while c.len() < len {
+                    let v = rng.gen_range(1..=n);
+                    let l = CnfLit::new(v, rng.gen());
+                    if !c.iter().any(|&x| x.var() == v) {
+                        c.push(l);
+                    }
+                }
+                f.add_clause(c);
+            }
+            let expected = crate::reference::dpll_sat(&f);
+            let (r, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+            match (expected, &r) {
+                (true, SolveResult::Sat(m)) => assert!(f.eval(m), "iter {iter}"),
+                (false, SolveResult::Unsat) => {}
+                other => panic!("iter {iter}: mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
+        check_unsat(&[
+            &[1, 2],
+            &[-1, -2],
+            &[2, 3],
+            &[-2, -3],
+            &[1, 3],
+            &[-1, -3],
+        ]);
+    }
+
+    #[test]
+    fn stats_display() {
+        let f = cnf_of(&[&[1, 2], &[-1, 2]]);
+        let (_, stats) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        assert!(format!("{stats}").contains("decisions="));
+    }
+
+    #[test]
+    fn assumptions_restrict_without_committing() {
+        // 1 -> 2, 2 -> 3.
+        let f = cnf_of(&[&[-1, 2], &[-2, 3]]);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        // Assuming 1 and ¬3 contradicts the implications.
+        assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(3)]).is_unsat());
+        // The solver is NOT globally unsat: same query without assumptions.
+        assert!(s.solve().is_sat());
+        // A satisfiable assumption set yields a model honouring it.
+        match s.solve_with_assumptions(&[CnfLit::pos(1)]) {
+            SolveResult::Sat(m) => {
+                assert!(m[0] && m[1] && m[2], "1 forces 2 and 3");
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_assumption_pair_fails() {
+        let f = cnf_of(&[&[1, 2]]);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(1)]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_on_fresh_variables_extend_the_solver() {
+        let f = cnf_of(&[&[1]]);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        // Variable 5 is unknown to the formula; assuming it must still work.
+        match s.solve_with_assumptions(&[CnfLit::neg(5)]) {
+            SolveResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[4], "assumption must be honoured in the model");
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn activation_literal_pattern() {
+        // The classic incremental idiom: gadget clauses guarded by an
+        // activation variable, enabled per query, retired with a unit.
+        let f = cnf_of(&[&[1, 2]]);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        // Gadget under activation var 10: (¬10 ∨ ¬1) ∧ (¬10 ∨ ¬2).
+        s.add_clause_cnf(&[CnfLit::neg(10), CnfLit::neg(1)]);
+        s.add_clause_cnf(&[CnfLit::neg(10), CnfLit::neg(2)]);
+        assert!(s.solve_with_assumptions(&[CnfLit::pos(10)]).is_unsat());
+        // Retire the gadget; the base formula is unaffected.
+        s.add_clause_cnf(&[CnfLit::neg(10)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_agree_with_unit_clauses_on_random_formulas() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for iter in 0..80 {
+            let n = rng.gen_range(4..=10);
+            let m = rng.gen_range(5..=38);
+            let mut f = Cnf::new();
+            f.ensure_vars(n);
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3.min(n as usize));
+                let mut c: Vec<CnfLit> = Vec::new();
+                while c.len() < len {
+                    let v = rng.gen_range(1..=n);
+                    if !c.iter().any(|x| x.var() == v) {
+                        c.push(CnfLit::new(v, rng.gen()));
+                    }
+                }
+                f.add_clause(c);
+            }
+            // Pick one or two assumption literals.
+            let assume: Vec<CnfLit> = (0..rng.gen_range(1..=2))
+                .map(|_| CnfLit::new(rng.gen_range(1..=n), rng.gen()))
+                .collect();
+            // Reference: add the assumptions as units to a copy.
+            let mut f_units = f.clone();
+            for &a in &assume {
+                f_units.add_unit(a);
+            }
+            let expected = crate::reference::dpll_sat(&f_units);
+            let mut s = Solver::from_cnf(&f, SolverConfig::default());
+            let res = s.solve_with_assumptions(&assume);
+            assert_eq!(res.is_sat(), expected, "iter {iter}");
+            if let SolveResult::Sat(model) = res {
+                assert!(f_units.eval(&model), "iter {iter}: model violates assumptions");
+            }
+            // And the solver is reusable afterwards with the opposite set.
+            let flipped: Vec<CnfLit> = assume.iter().map(|&a| !a).collect();
+            let mut f_flip = f.clone();
+            for &a in &flipped {
+                f_flip.add_unit(a);
+            }
+            let expected_flip = crate::reference::dpll_sat(&f_flip);
+            assert_eq!(
+                s.solve_with_assumptions(&flipped).is_sat(),
+                expected_flip,
+                "iter {iter} (flipped)"
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Solver statistics.
+//!
+//! [`Stats::decisions`] is the quantity the paper approximates solving time
+//! with ("variable branching times", Sec. III-B5): it is the reward signal
+//! of the RL agent and the target of the cost-customised mapper.
+
+/// Counters accumulated across `solve()` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Branching decisions made (the paper's `#Branching`).
+    pub decisions: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by reduction.
+    pub deleted_clauses: u64,
+    /// Literals removed by conflict-clause minimisation.
+    pub minimized_literals: u64,
+    /// Clause-database garbage collections.
+    pub gcs: u64,
+    /// Maximum trail height observed.
+    pub max_trail: usize,
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decisions={} conflicts={} propagations={} restarts={} learnt={} deleted={}",
+            self.decisions,
+            self.conflicts,
+            self.propagations,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = Stats::default();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn display_mentions_decisions() {
+        let s = Stats { decisions: 42, ..Stats::default() };
+        assert!(format!("{s}").contains("decisions=42"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Internal solver types: packed literals, ternary values, clause refs.
+
+use std::fmt;
+use std::ops::Not;
+
+/// Internal 0-based variable index.
+pub type Var = u32;
+
+/// Internal literal: `2*var + sign` with `sign = 1` meaning negated.
+///
+/// Distinct from [`cnf::CnfLit`] (DIMACS convention) — conversion happens at
+/// the solver boundary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Sentinel for "no literal".
+    pub const UNDEF: Lit = Lit(u32::MAX);
+
+    /// Literal of `var` with the given polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var << 1 | !positive as u32)
+    }
+
+    /// Converts from a DIMACS-convention literal (1-based, signed).
+    #[inline]
+    pub fn from_cnf(l: cnf::CnfLit) -> Lit {
+        Lit::new(l.var() - 1, l.is_positive())
+    }
+
+    /// Converts to a DIMACS-convention literal.
+    #[inline]
+    pub fn to_cnf(self) -> cnf::CnfLit {
+        cnf::CnfLit::new(self.var() + 1, self.is_positive())
+    }
+
+    /// The variable of this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// True for positive (non-negated) literals.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Index usable for watch/occurrence arrays (`0..2*num_vars`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Lit {
+        Lit(i as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::UNDEF {
+            return write!(f, "UNDEF");
+        }
+        write!(f, "{}{}", if self.is_positive() { "" } else { "-" }, self.var() + 1)
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum LBool {
+    /// Assigned true.
+    True = 0,
+    /// Assigned false.
+    False = 1,
+    /// Unassigned.
+    Undef = 2,
+}
+
+impl LBool {
+    /// Converts a bool.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// XORs with a sign: value of a literal given its variable's value.
+    #[inline]
+    pub fn xor(self, sign: bool) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            _ => LBool::from_bool((self == LBool::True) ^ sign),
+        }
+    }
+}
+
+/// Reference to a clause in the clause database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// Sentinel for "no reason clause" (decision or unassigned).
+    pub const UNDEF: ClauseRef = ClauseRef(u32::MAX);
+    /// Sentinel reason for literals implied by a binary clause; the other
+    /// literal is stored inline in the reason table.
+    pub(crate) fn is_undef(self) -> bool {
+        self == ClauseRef::UNDEF
+    }
+}
+
+impl fmt::Debug for ClauseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_undef() {
+            write!(f, "CRef(UNDEF)")
+        } else {
+            write!(f, "CRef({})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        let p = Lit::new(3, true);
+        let n = Lit::new(3, false);
+        assert_eq!(p.var(), 3);
+        assert!(p.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_ne!(p.index(), n.index());
+        assert_eq!(Lit::from_index(p.index()), p);
+    }
+
+    #[test]
+    fn cnf_conversion_roundtrip() {
+        for raw in [1i32, -1, 5, -17] {
+            let c = cnf::CnfLit::from_dimacs(raw);
+            assert_eq!(Lit::from_cnf(c).to_cnf(), c);
+        }
+    }
+
+    #[test]
+    fn lbool_xor() {
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::False.xor(true), LBool::True);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+        assert_eq!(LBool::True.xor(false), LBool::True);
+    }
+}

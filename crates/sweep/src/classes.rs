@@ -1,0 +1,137 @@
+//! Simulation-signature equivalence classes.
+//!
+//! Nodes whose signatures agree on every simulated pattern — directly or
+//! complemented — are *candidates* for functional equivalence. Grouping is
+//! done on a phase-canonical form of the signature (complemented so that
+//! pattern 0 evaluates to `false`), which makes `f` and `¬f` land in the
+//! same bucket.
+
+use aig::Var;
+use std::collections::HashMap;
+
+/// One node inside a candidate class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassMember {
+    /// The node.
+    pub var: Var,
+    /// `true` if the node's signature was complemented to reach the
+    /// class-canonical phase; two members `a`, `b` are candidates for
+    /// `a ≡ b ⊕ (phase_a ^ phase_b)`.
+    pub phase: bool,
+}
+
+/// Candidate equivalence classes over simulation signatures.
+///
+/// Only classes with at least two members are kept — singletons cannot
+/// yield a merge.
+#[derive(Clone, Debug, Default)]
+pub struct SigClasses {
+    classes: Vec<Vec<ClassMember>>,
+}
+
+impl SigClasses {
+    /// The classes, each sorted by variable (topological) order.
+    pub fn classes(&self) -> &[Vec<ClassMember>] {
+        &self.classes
+    }
+
+    /// Number of non-singleton classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no candidate pair exists.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total number of candidate (member, representative) pairs.
+    pub fn num_candidate_pairs(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+}
+
+/// Groups `members` into candidate classes by phase-canonical signature.
+///
+/// `sigs[v]` must hold the simulation words of node `v`; all signatures
+/// must have equal length. Members are kept in the order given, so passing
+/// variables in ascending order makes the first member of each class the
+/// topologically earliest — the natural merge representative.
+pub fn candidate_classes<I>(sigs: &[Vec<u64>], members: I) -> SigClasses
+where
+    I: IntoIterator<Item = Var>,
+{
+    let mut buckets: HashMap<Vec<u64>, Vec<ClassMember>> = HashMap::new();
+    let mut order: Vec<Vec<u64>> = Vec::new();
+    for var in members {
+        let sig = &sigs[var as usize];
+        let phase = sig.first().is_some_and(|w| w & 1 != 0);
+        let canon: Vec<u64> =
+            if phase { sig.iter().map(|w| !w).collect() } else { sig.clone() };
+        match buckets.get_mut(&canon) {
+            Some(class) => class.push(ClassMember { var, phase }),
+            None => {
+                order.push(canon.clone());
+                buckets.insert(canon, vec![ClassMember { var, phase }]);
+            }
+        }
+    }
+    let classes = order
+        .into_iter()
+        .filter_map(|key| {
+            let class = buckets.remove(&key).expect("bucket recorded in order");
+            (class.len() >= 2).then_some(class)
+        })
+        .collect();
+    SigClasses { classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complemented_signatures_share_a_class() {
+        // Node 1: 0b0110..., node 2: 0b1001... (complement), node 3 distinct.
+        let sigs = vec![
+            vec![0u64],          // constant node
+            vec![0x6666_u64],    // f
+            vec![!0x6666_u64],   // ¬f
+            vec![0x1234_u64],    // unrelated
+        ];
+        let classes = candidate_classes(&sigs, [1, 2, 3]);
+        assert_eq!(classes.len(), 1);
+        let c = &classes.classes()[0];
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].var, 1);
+        assert_eq!(c[1].var, 2);
+        // 0x6666 has bit0 = 0 -> phase false; complement has bit0 = 1.
+        assert!(!c[0].phase);
+        assert!(c[1].phase);
+    }
+
+    #[test]
+    fn singletons_are_dropped() {
+        let sigs = vec![vec![0u64], vec![1u64], vec![2u64]];
+        let classes = candidate_classes(&sigs, [1, 2]);
+        // 1 = 0b01 (bit0 set -> canon !1), 2 = 0b10 (canon 2): distinct.
+        assert!(classes.is_empty());
+        assert_eq!(classes.num_candidate_pairs(), 0);
+    }
+
+    #[test]
+    fn constant_class_includes_all_zero_and_all_one() {
+        let sigs = vec![
+            vec![0u64, 0u64],   // constant false (node 0)
+            vec![!0u64, !0u64], // always true
+            vec![0u64, 0u64],   // always false
+        ];
+        let classes = candidate_classes(&sigs, [0, 1, 2]);
+        assert_eq!(classes.len(), 1);
+        let c = &classes.classes()[0];
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].var, 0);
+        assert!(c[1].phase, "all-ones node is the complement of constant false");
+        assert!(!c[2].phase);
+    }
+}

@@ -1,0 +1,438 @@
+//! The fraig engine: simulate, conjecture, SAT-prove, merge, rebuild.
+
+use crate::classes::candidate_classes;
+use aig::sim::{random_signatures, simulate_words};
+use aig::{Aig, Lit, Var};
+use cnf::{tseitin, CnfLit, VarMap};
+use sat::{Budget, SolveResult, Solver, SolverConfig};
+
+/// Tuning knobs for [`fraig`].
+#[derive(Clone, Copy, Debug)]
+pub struct FraigParams {
+    /// Words (64 patterns each) of base random simulation per round.
+    pub sim_words: usize,
+    /// Conflict budget per SAT equivalence query; exceeding it leaves the
+    /// pair unproven (no unsoundness, only missed merges).
+    pub conflict_budget: u64,
+    /// Maximum simulate–prove–refine rounds.
+    pub max_rounds: usize,
+    /// Maximum SAT queries per node per round (caps wide classes).
+    pub max_checks_per_node: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for FraigParams {
+    fn default() -> FraigParams {
+        FraigParams {
+            sim_words: 8,
+            conflict_budget: 2_000,
+            max_rounds: 4,
+            max_checks_per_node: 4,
+            seed: 0x5eed_f4a1,
+        }
+    }
+}
+
+/// Counters describing one [`fraig`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FraigStats {
+    /// Simulate–prove rounds executed.
+    pub rounds: usize,
+    /// SAT equivalence queries issued.
+    pub sat_calls: u64,
+    /// Queries answered UNSAT (equivalence proved, node merged).
+    pub proved: usize,
+    /// Queries answered SAT (counterexample found, class split).
+    pub disproved: usize,
+    /// Queries that ran out of budget.
+    pub unknown: usize,
+    /// Counterexample patterns fed back into simulation.
+    pub cex_patterns: usize,
+}
+
+/// Result of a [`fraig`] run.
+#[derive(Clone, Debug)]
+pub struct FraigOutcome {
+    /// The swept, functionally equivalent graph.
+    pub aig: Aig,
+    /// Run counters.
+    pub stats: FraigStats,
+}
+
+/// SAT-sweeps the graph: merges nodes proved functionally equivalent
+/// (up to complementation) and returns the reduced graph.
+///
+/// The output is functionally equivalent to the input by construction:
+/// every merge is justified by an UNSAT answer on the pairwise miter
+/// `a ⊕ b` over the *original* graph, so substitutions compose soundly in
+/// any order. Budget exhaustion only loses reductions, never correctness.
+///
+/// ```
+/// use aig::Aig;
+/// use sweep::{fraig, FraigParams};
+///
+/// let mut g = Aig::new();
+/// let pis = g.add_pis(4);
+/// let f = g.and_many(&pis);
+/// g.add_po(f);
+/// let out = fraig(&g, &FraigParams::default());
+/// assert!(aig::check::exhaustive_equiv(&g, &out.aig));
+/// ```
+pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
+    let mut stats = FraigStats::default();
+    let n = aig.num_nodes();
+    let reach = aig.reachable_from_pos();
+    let (base_cnf, vmap) = tseitin(aig);
+    // One incremental solver for the whole run: learnt clauses carry over
+    // between equivalence queries, and per-query miter gadgets are guarded
+    // by activation literals (assumed for the query, retired by a unit).
+    let mut oracle = PairOracle::new(&base_cnf);
+
+    // equiv[v] = Some(l): node v is equivalent to old-graph literal l
+    // (l.var() < v). Chains are resolved during rebuild.
+    let mut equiv: Vec<Option<Lit>> = vec![None; n];
+    // Extra simulation patterns from counterexamples (one Vec<bool> per PI
+    // assignment).
+    let mut extra: Vec<Vec<bool>> = Vec::new();
+    // Pairs already disproved or abandoned; never retried.
+    let mut dead: std::collections::HashSet<(Var, Var)> = std::collections::HashSet::new();
+
+    for round in 0..params.max_rounds {
+        stats.rounds = round + 1;
+        let mut sigs = random_signatures(aig, params.sim_words, params.seed ^ round as u64);
+        extend_with_patterns(aig, &mut sigs, &extra);
+
+        // Candidates: constant node + reachable, not-yet-merged PIs/ANDs.
+        let members = (0..n as Var)
+            .filter(|&v| v == 0 || (reach[v as usize] && equiv[v as usize].is_none()));
+        let classes = candidate_classes(&sigs, members);
+
+        let mut new_cex: Vec<Vec<bool>> = Vec::new();
+        let mut checks = vec![0usize; n];
+        for class in classes.classes() {
+            let repr = class[0];
+            for &member in &class[1..] {
+                if equiv[member.var as usize].is_some() {
+                    continue; // merged via an earlier class this round
+                }
+                if dead.contains(&(repr.var, member.var)) {
+                    continue;
+                }
+                if checks[member.var as usize] >= params.max_checks_per_node {
+                    continue;
+                }
+                checks[member.var as usize] += 1;
+                if new_cex.len() >= 64 {
+                    break; // enough refinement material for this round
+                }
+                let phase = repr.phase != member.phase;
+                stats.sat_calls += 1;
+                match oracle.prove_pair(&vmap, member.var, repr.var, phase, params) {
+                    Answer::Equivalent => {
+                        stats.proved += 1;
+                        equiv[member.var as usize] = Some(Lit::from_var(repr.var, phase));
+                    }
+                    Answer::Different(pattern) => {
+                        stats.disproved += 1;
+                        dead.insert((repr.var, member.var));
+                        new_cex.push(pattern);
+                    }
+                    Answer::Undecided => {
+                        stats.unknown += 1;
+                        dead.insert((repr.var, member.var));
+                    }
+                }
+            }
+        }
+        if new_cex.is_empty() {
+            break;
+        }
+        stats.cex_patterns += new_cex.len();
+        extra.extend(new_cex);
+    }
+
+    FraigOutcome { aig: rebuild(aig, &equiv), stats }
+}
+
+enum Answer {
+    Equivalent,
+    Different(Vec<bool>),
+    Undecided,
+}
+
+/// Incremental equivalence oracle: one CDCL solver holding the Tseitin
+/// encoding, queried per candidate pair through activation literals.
+struct PairOracle {
+    solver: Solver,
+    /// Next fresh variable for activation literals.
+    next_var: u32,
+}
+
+impl PairOracle {
+    fn new(base_cnf: &cnf::Cnf) -> PairOracle {
+        PairOracle {
+            solver: Solver::from_cnf(base_cnf, SolverConfig::default()),
+            next_var: base_cnf.num_vars() + 1,
+        }
+    }
+
+    /// Budgeted SAT check of `member ≡ repr ⊕ phase` over the original
+    /// graph. Learnt clauses persist across calls.
+    fn prove_pair(
+        &mut self,
+        vmap: &VarMap,
+        member: Var,
+        repr: Var,
+        phase: bool,
+        params: &FraigParams,
+    ) -> Answer {
+        let a = vmap
+            .lit(Lit::from_var(member, false))
+            .expect("member is PO-reachable, hence encoded");
+        // The conflict budget is cumulative on the shared solver.
+        let limit = self.solver.stats().conflicts + params.conflict_budget;
+        self.solver.set_budget(Budget::conflicts(limit));
+        let result = match cnf_lit_of(vmap, repr, phase) {
+            Some(b) => {
+                // Miter gadget `s -> (a ⊕ b)` under fresh activation var s.
+                let s = CnfLit::pos(self.next_var);
+                self.next_var += 1;
+                self.solver.add_clause_cnf(&[!s, a, b]);
+                self.solver.add_clause_cnf(&[!s, !a, !b]);
+                let r = self.solver.solve_with_assumptions(&[s]);
+                // Retire the gadget so later queries never revisit it.
+                self.solver.add_clause_cnf(&[!s]);
+                r
+            }
+            None => {
+                // repr is the constant node: test `member ≠ phase`.
+                self.solver.solve_with_assumptions(&[if phase { !a } else { a }])
+            }
+        };
+        match result {
+            SolveResult::Unsat => Answer::Equivalent,
+            SolveResult::Sat(model) => Answer::Different(vmap.decode_inputs(&model)),
+            SolveResult::Unknown => Answer::Undecided,
+        }
+    }
+}
+
+/// CNF literal of an old-graph node, or `None` for the constant node when
+/// it was not encoded.
+fn cnf_lit_of(vmap: &VarMap, var: Var, phase: bool) -> Option<CnfLit> {
+    if var == 0 {
+        // Constant false node; may be unencoded. Handled by the caller.
+        return None;
+    }
+    Some(vmap.lit(Lit::from_var(var, phase)).expect("repr is PO-reachable, hence encoded"))
+}
+
+/// Rebuilds the graph substituting merged nodes, then drops dangling logic.
+fn rebuild(aig: &Aig, equiv: &[Option<Lit>]) -> Aig {
+    let mut out = Aig::with_capacity(aig.num_nodes());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for &pi in aig.pis() {
+        map[pi as usize] = out.add_pi();
+    }
+    for v in aig.iter_ands() {
+        map[v as usize] = match equiv[v as usize] {
+            Some(rep) => map[rep.var() as usize].xor_compl(rep.is_compl()),
+            None => {
+                let node = aig.node(v);
+                let f0 = node.fanin0();
+                let f1 = node.fanin1();
+                let a = map[f0.var() as usize].xor_compl(f0.is_compl());
+                let b = map[f1.var() as usize].xor_compl(f1.is_compl());
+                out.and(a, b)
+            }
+        };
+    }
+    for &po in aig.pos() {
+        let l = map[po.var() as usize].xor_compl(po.is_compl());
+        out.add_po(l);
+    }
+    out.compact().0
+}
+
+/// Appends counterexample patterns (packed 64 per word) to all signatures.
+fn extend_with_patterns(aig: &Aig, sigs: &mut [Vec<u64>], patterns: &[Vec<bool>]) {
+    for chunk in patterns.chunks(64) {
+        let mut pi_words = vec![0u64; aig.num_pis()];
+        for (j, pattern) in chunk.iter().enumerate() {
+            for (i, &bit) in pattern.iter().enumerate() {
+                if bit {
+                    pi_words[i] |= 1 << j;
+                }
+            }
+        }
+        let vals = simulate_words(aig, &pi_words);
+        for (v, &word) in vals.iter().enumerate() {
+            sigs[v].push(word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::check::{exhaustive_equiv, sim_equiv};
+
+    /// Two structurally different adders over shared PIs, XOR-mitered:
+    /// the classic fraig victim.
+    fn equivalence_miter(bits: usize) -> Aig {
+        let mut g = Aig::new();
+        let xs = g.add_pis(bits);
+        let ys = g.add_pis(bits);
+        // Ripple-carry sum bits.
+        let mut carry = Lit::FALSE;
+        let mut sums_a = Vec::new();
+        for i in 0..bits {
+            let s = g.xor(xs[i], ys[i]);
+            let s = g.xor(s, carry);
+            sums_a.push(s);
+            let c1 = g.and(xs[i], ys[i]);
+            let t = g.xor(xs[i], ys[i]);
+            let c2 = g.and(t, carry);
+            carry = g.or(c1, c2);
+        }
+        // Second copy with majority-form carries.
+        let mut carry = Lit::FALSE;
+        let mut sums_b = Vec::new();
+        for i in 0..bits {
+            let s1 = g.xor(xs[i], ys[i]);
+            let s = g.xor(s1, carry);
+            sums_b.push(s);
+            let ab = g.and(xs[i], ys[i]);
+            let ac = g.and(xs[i], carry);
+            let bc = g.and(ys[i], carry);
+            let t = g.or(ab, ac);
+            carry = g.or(t, bc);
+        }
+        let diffs: Vec<Lit> =
+            sums_a.iter().zip(&sums_b).map(|(&a, &b)| g.xor(a, b)).collect();
+        let any = g.or_many(&diffs);
+        g.add_po(any);
+        g
+    }
+
+    #[test]
+    fn collapses_equivalence_miter_to_constant_false() {
+        let g = equivalence_miter(4);
+        let out = fraig(&g, &FraigParams::default());
+        assert_eq!(out.aig.pos()[0], Lit::FALSE, "miter of equal circuits is constant 0");
+        assert_eq!(out.aig.num_ands(), 0);
+        assert!(out.stats.proved > 0);
+    }
+
+    #[test]
+    fn preserves_function_on_non_constant_outputs() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(6);
+        let a = g.xor_many(&pis[..3]);
+        let b = g.and_many(&pis[3..]);
+        let f = g.mux(pis[0], a, b);
+        g.add_po(f);
+        g.add_po(a);
+        let out = fraig(&g, &FraigParams::default());
+        assert!(exhaustive_equiv(&g, &out.aig));
+    }
+
+    #[test]
+    fn merges_duplicate_cones() {
+        // The same 3-input majority built twice; sweeping should remove
+        // roughly half the gates.
+        let mut g = Aig::new();
+        let p = g.add_pis(3);
+        let maj = |g: &mut Aig| {
+            let ab = g.and(p[0], p[1]);
+            let ac = g.and(p[0], p[2]);
+            let bc = g.and(p[1], p[2]);
+            let t = g.or(ab, ac);
+            g.or(t, bc)
+        };
+        let m1 = maj(&mut g);
+        // Force distinct structure for the second copy: different
+        // association order.
+        let bc = g.and(p[1], p[2]);
+        let ac = g.and(p[2], p[0]);
+        let ab = g.and(p[0], p[1]);
+        let t = g.or(bc, ac);
+        let m2 = g.or(t, ab);
+        let both = g.and(m1, m2); // = majority, since m1 ≡ m2
+        g.add_po(both);
+        let before = g.num_ands();
+        let out = fraig(&g, &FraigParams::default());
+        assert!(exhaustive_equiv(&g, &out.aig));
+        assert!(
+            out.aig.num_ands() <= before / 2 + 1,
+            "expected ~half the gates, got {} of {before}",
+            out.aig.num_ands()
+        );
+    }
+
+    #[test]
+    fn detects_complemented_equivalence() {
+        // f and ¬f as two POs; sweeping must keep both POs correct.
+        let mut g = Aig::new();
+        let p = g.add_pis(3);
+        let f = g.xor_many(&p);
+        // De-Morgan complement built structurally.
+        let x01 = g.xnor(p[0], p[1]);
+        let nf = g.xnor(x01, !p[2]);
+        g.add_po(f);
+        g.add_po(nf);
+        let out = fraig(&g, &FraigParams::default());
+        assert!(exhaustive_equiv(&g, &out.aig));
+    }
+
+    #[test]
+    fn zero_budget_degrades_gracefully() {
+        let g = equivalence_miter(3);
+        let params = FraigParams { conflict_budget: 0, ..FraigParams::default() };
+        let out = fraig(&g, &params);
+        // Few merges may be proved, but the graph must stay equivalent.
+        assert!(sim_equiv(&g, &out.aig, 8, 7));
+        assert_eq!(
+            out.stats.proved + out.stats.disproved + out.stats.unknown,
+            out.stats.sat_calls as usize
+        );
+    }
+
+    #[test]
+    fn counterexamples_refine_classes() {
+        // A pair of functions that agree on most patterns (differ only
+        // when all PIs are 1): simulation may alias them, SAT must split.
+        let mut g = Aig::new();
+        let p = g.add_pis(6);
+        let all = g.and_many(&p);
+        let most = g.and_many(&p[..5]); // differs from `all` on one minterm class
+        let d = g.xor(all, most);
+        g.add_po(d);
+        let out = fraig(&g, &FraigParams { sim_words: 1, ..FraigParams::default() });
+        assert!(exhaustive_equiv(&g, &out.aig));
+    }
+
+    #[test]
+    fn idempotent_on_swept_graphs() {
+        let g = equivalence_miter(3);
+        let once = fraig(&g, &FraigParams::default());
+        let twice = fraig(&once.aig, &FraigParams::default());
+        assert_eq!(once.aig.num_ands(), twice.aig.num_ands());
+    }
+
+    #[test]
+    fn handles_constant_pos_and_empty_graphs() {
+        let mut g = Aig::new();
+        g.add_po(Lit::TRUE);
+        let out = fraig(&g, &FraigParams::default());
+        assert_eq!(out.aig.pos()[0], Lit::TRUE);
+
+        let mut g2 = Aig::new();
+        let a = g2.add_pi();
+        g2.add_po(a);
+        let out2 = fraig(&g2, &FraigParams::default());
+        assert_eq!(out2.aig.num_ands(), 0);
+        assert_eq!(out2.aig.num_pis(), 1);
+    }
+}

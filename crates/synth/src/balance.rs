@@ -1,0 +1,224 @@
+//! AND-tree balancing (`balance`).
+//!
+//! Collects maximal single-fanout AND trees ("super-gates") and rebuilds
+//! each as a delay-minimal tree: operands are combined two-at-a-time,
+//! always pairing the two with the lowest arrival level, exactly like ABC's
+//! `balance` command. Structural hashing in the rebuilt graph recovers any
+//! sharing the tree re-shaping exposes.
+
+use aig::{Aig, Lit, Var};
+
+/// Balances all AND trees, returning a functionally equivalent graph whose
+/// depth is less than or equal to the input's on tree-dominated logic.
+pub fn balance(aig: &Aig) -> Aig {
+    // A node is *tree-interior* when it is an AND with exactly one fanout,
+    // referenced non-complemented by another AND gate. Such nodes are
+    // absorbed into their consumer's super-gate.
+    let fanout = aig.fanout_counts();
+    let mut interior = vec![false; aig.num_nodes()];
+    for v in aig.iter_ands() {
+        let n = aig.node(v);
+        for f in n.fanins() {
+            if !f.is_compl()
+                && aig.node(f.var()).is_and()
+                && fanout[f.var() as usize] == 1
+            {
+                interior[f.var() as usize] = true;
+            }
+        }
+    }
+    // POs must keep their drivers addressable.
+    for po in aig.pos() {
+        interior[po.var() as usize] = false;
+    }
+
+    let mut new = Aig::with_capacity(aig.num_nodes());
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[0] = Some(Lit::FALSE);
+    for &pi in aig.pis() {
+        map[pi as usize] = Some(new.add_pi());
+    }
+
+    // New-graph levels, grown lazily as nodes are created.
+    let mut levels = vec![0u32; new.num_nodes()];
+
+    for v in aig.iter_ands() {
+        if interior[v as usize] {
+            continue; // built as part of its consumer's tree
+        }
+        // Collect the super-gate operands by expanding interior fanins.
+        let mut operands: Vec<Lit> = Vec::new();
+        collect_tree(aig, &interior, v, Lit::from_var(v, false), &mut operands);
+        // Map operands into the new graph; all are non-interior roots
+        // (or PIs) already processed.
+        let mut mapped: Vec<(u32, Lit)> = operands
+            .iter()
+            .map(|&l| {
+                let nl = map[l.var() as usize].expect("operand built").xor_compl(l.is_compl());
+                (level_of(&levels, nl), nl)
+            })
+            .collect();
+        // Repeatedly combine the two lowest-level operands.
+        mapped.sort_by_key(|&(lv, _)| std::cmp::Reverse(lv));
+        while mapped.len() > 1 {
+            let (la, a) = mapped.pop().expect("len > 1");
+            let (lb, b) = mapped.pop().expect("len > 1");
+            let l = new.and(a, b);
+            grow_levels(&mut levels, &new);
+            let lvl = level_of(&levels, l).max(la.max(lb) + 1);
+            set_level(&mut levels, l, lvl);
+            // Insert back keeping descending order.
+            let pos = mapped.partition_point(|&(x, _)| x > lvl);
+            mapped.insert(pos, (lvl, l));
+        }
+        let result = mapped.pop().map(|(_, l)| l).unwrap_or(Lit::TRUE);
+        map[v as usize] = Some(result);
+    }
+
+    for &po in aig.pos() {
+        let l = map[po.var() as usize].expect("PO driver built");
+        new.add_po(l.xor_compl(po.is_compl()));
+    }
+    new
+}
+
+fn collect_tree(aig: &Aig, interior: &[bool], root: Var, lit: Lit, out: &mut Vec<Lit>) {
+    let mut stack = vec![lit];
+    while let Some(l) = stack.pop() {
+        let v = l.var();
+        let expand = !l.is_compl() && aig.node(v).is_and() && (v == root || interior[v as usize]);
+        if expand {
+            let n = aig.node(v);
+            stack.push(n.fanin0());
+            stack.push(n.fanin1());
+        } else {
+            out.push(l);
+        }
+    }
+}
+
+fn grow_levels(levels: &mut Vec<u32>, new: &Aig) {
+    while levels.len() < new.num_nodes() {
+        // New nodes created by strashing reuse: compute level from fanins.
+        let v = levels.len() as Var;
+        let n = new.node(v);
+        let lv = if n.is_and() {
+            1 + levels[n.fanin0().var() as usize].max(levels[n.fanin1().var() as usize])
+        } else {
+            0
+        };
+        levels.push(lv);
+    }
+}
+
+#[inline]
+fn level_of(levels: &[u32], l: Lit) -> u32 {
+    levels.get(l.var() as usize).copied().unwrap_or(0)
+}
+
+#[inline]
+fn set_level(levels: &mut Vec<u32>, l: Lit, lv: u32) {
+    let idx = l.var() as usize;
+    if idx < levels.len() {
+        levels[idx] = levels[idx].max(lv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::check::{exhaustive_equiv, sim_equiv};
+
+    #[test]
+    fn chain_becomes_logarithmic() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(16);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.and(acc, p);
+        }
+        g.add_po(acc);
+        assert_eq!(g.depth(), 15);
+        let h = balance(&g);
+        assert!(exhaustive_equiv(&g, &h));
+        assert_eq!(h.depth(), 4, "16-input AND balances to depth log2(16)");
+    }
+
+    #[test]
+    fn or_chain_balances_too() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(8);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.or(acc, p);
+        }
+        g.add_po(acc);
+        let h = balance(&g);
+        assert!(exhaustive_equiv(&g, &h));
+        // OR chain = AND chain of complements: also log depth.
+        assert!(h.depth() <= 3 + 1, "got {}", h.depth());
+    }
+
+    #[test]
+    fn shared_nodes_not_duplicated_wrongly() {
+        let mut g = Aig::new();
+        let pis = g.add_pis(4);
+        let shared = g.and(pis[0], pis[1]);
+        let t1 = g.and(shared, pis[2]);
+        let t2 = g.and(shared, pis[3]);
+        g.add_po(t1);
+        g.add_po(t2);
+        let h = balance(&g);
+        assert!(exhaustive_equiv(&g, &h));
+        assert!(h.num_ands() <= g.num_ands());
+    }
+
+    #[test]
+    fn mixed_logic_equivalence_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..10 {
+            let mut g = Aig::new();
+            let pis = g.add_pis(8);
+            let mut pool: Vec<Lit> = pis.clone();
+            for _ in 0..60 {
+                let a = pool[rng.gen_range(0..pool.len())].xor_compl(rng.gen());
+                let b = pool[rng.gen_range(0..pool.len())].xor_compl(rng.gen());
+                let l = match rng.gen_range(0..3) {
+                    0 => g.and(a, b),
+                    1 => g.or(a, b),
+                    _ => g.xor(a, b),
+                };
+                pool.push(l);
+            }
+            let n = pool.len();
+            g.add_po(pool[n - 1]);
+            g.add_po(pool[n - 2]);
+            let h = balance(&g);
+            assert!(exhaustive_equiv(&g, &h));
+            assert!(sim_equiv(&g, &h, 4, 7));
+        }
+    }
+
+    #[test]
+    fn po_driver_preserved_when_interior() {
+        // A node that would be tree-interior but drives a PO must survive.
+        let mut g = Aig::new();
+        let pis = g.add_pis(3);
+        let t = g.and(pis[0], pis[1]);
+        let u = g.and(t, pis[2]);
+        g.add_po(t);
+        g.add_po(u);
+        let h = balance(&g);
+        assert!(exhaustive_equiv(&g, &h));
+    }
+
+    #[test]
+    fn constant_pos() {
+        let mut g = Aig::new();
+        let _ = g.add_pi();
+        g.add_po(Lit::TRUE);
+        let h = balance(&g);
+        assert_eq!(h.eval(&[false]), vec![true]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Window-based Boolean resubstitution (`resub`).
+//!
+//! For each node, a window is built from a reconvergence-driven cut; the
+//! truth tables of every window node over the cut leaves are computed, and
+//! the engine looks for *divisors* — existing nodes (outside the logic that
+//! would disappear) whose functions re-express the target:
+//!
+//! * **0-resub**: the target equals a divisor (possibly complemented) — the
+//!   node is forwarded for free;
+//! * **1-resub**: the target is the AND/OR of two divisors in some polarity
+//!   — one fresh gate replaces the whole cone.
+//!
+//! This follows the permissible-function resubstitution lineage the paper
+//! cites (Sato et al.) in its windowed, truth-table-driven ABC form.
+
+use crate::plan::{rebuild, Choice};
+use crate::refactor::reconvergence_cut;
+use aig::hash::FastSet;
+use aig::mffc::Mffc;
+use aig::{Aig, GateList, Lit, Tt, Var};
+
+/// Parameters of the resubstitution pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ResubParams {
+    /// Maximum leaves of the window cut (hard cap 12).
+    pub max_leaves: usize,
+    /// Maximum divisors examined per node.
+    pub max_divisors: usize,
+}
+
+impl Default for ResubParams {
+    fn default() -> ResubParams {
+        ResubParams { max_leaves: 8, max_divisors: 64 }
+    }
+}
+
+/// Resubstitutes nodes from existing logic, returning an equivalent graph.
+///
+/// # Panics
+/// Panics if `params.max_leaves` is outside `2..=12`.
+pub fn resub(aig: &Aig, params: &ResubParams) -> Aig {
+    assert!(
+        (2..=12).contains(&params.max_leaves),
+        "max_leaves must be in 2..=12 (truth-table bound)"
+    );
+    let mut mffc = Mffc::new(aig);
+    let fanout = aig.fanout_counts();
+    let fanout_lists = aig.fanout_lists();
+    let mut choices: Vec<Choice> = vec![Choice::Copy; aig.num_nodes()];
+
+    for v in aig.iter_ands() {
+        if fanout[v as usize] == 0 {
+            continue;
+        }
+        let leaves = reconvergence_cut(aig, v, params.max_leaves);
+        if leaves.len() < 2 {
+            continue;
+        }
+        let cone: Vec<Var> = mffc.cone_collect(aig, v, &leaves);
+        if cone.is_empty() {
+            continue;
+        }
+        let cone_set: FastSet<Var> = cone.iter().copied().collect();
+
+        // Window truth tables: evaluate the whole cone between leaves and v,
+        // keeping every intermediate node as a divisor candidate.
+        let (mut tts, order) = window_tts(aig, v, &leaves);
+        let ft = tts[&v].clone();
+
+        // Divisors: the cut leaves themselves, plus window nodes that
+        // survive the replacement (not in the disappearing cone), strictly
+        // below v...
+        let mut divisors: Vec<Var> = order
+            .iter()
+            .copied()
+            .filter(|&d| d != v && d < v && !cone_set.contains(&d))
+            .collect();
+        debug_assert!(leaves.iter().all(|l| divisors.contains(l)), "leaves are divisors");
+        // ...plus *side* divisors: logic outside the cone whose support lies
+        // within the cut, grown by walking fanouts of known-table nodes.
+        let mut frontier: Vec<Var> = divisors.clone();
+        frontier.extend_from_slice(&leaves);
+        let mut qi = 0;
+        while qi < frontier.len() && divisors.len() < params.max_divisors {
+            let d = frontier[qi];
+            qi += 1;
+            for &c in &fanout_lists[d as usize] {
+                if c >= v || cone_set.contains(&c) || tts.contains_key(&c) {
+                    continue;
+                }
+                let n = aig.node(c);
+                let (a, b) = (n.fanin0(), n.fanin1());
+                let (Some(ta), Some(tb)) = (tts.get(&a.var()), tts.get(&b.var())) else {
+                    continue;
+                };
+                let ta = if a.is_compl() { !ta } else { ta.clone() };
+                let tb = if b.is_compl() { !tb } else { tb.clone() };
+                tts.insert(c, ta & tb);
+                divisors.push(c);
+                frontier.push(c);
+            }
+        }
+        divisors.truncate(params.max_divisors);
+
+        // 0-resub.
+        let mut chosen: Option<(Vec<Lit>, GateList)> = None;
+        for &d in &divisors {
+            let td = &tts[&d];
+            if *td == ft {
+                chosen = Some((vec![Lit::from_var(d, false)], identity_gl(false)));
+                break;
+            }
+            if !td == ft {
+                chosen = Some((vec![Lit::from_var(d, false)], identity_gl(true)));
+                break;
+            }
+        }
+
+        // 1-resub: only profitable when at least two nodes disappear.
+        if chosen.is_none() && cone.len() >= 2 {
+            'outer: for i in 0..divisors.len() {
+                for j in (i + 1)..divisors.len() {
+                    let (da, db) = (divisors[i], divisors[j]);
+                    let (ta, tb) = (&tts[&da], &tts[&db]);
+                    for (ca, cb, co) in POLARITIES {
+                        let fa = if ca { !ta } else { ta.clone() };
+                        let fb = if cb { !tb } else { tb.clone() };
+                        let mut f = fa & fb;
+                        if co {
+                            f = !f;
+                        }
+                        if f == ft {
+                            chosen = Some((
+                                vec![Lit::from_var(da, ca), Lit::from_var(db, cb)],
+                                and2_gl(co),
+                            ));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some((leaves, gl)) = chosen {
+            choices[v as usize] = Choice::Structure { leaves, gl };
+        }
+    }
+
+    rebuild(aig, &choices)
+}
+
+/// All input/output polarity combinations for 1-resub. `(ca, cb, co)` tries
+/// `co ^ ((a ^ ca) & (b ^ cb))`, covering AND and OR in every polarity.
+const POLARITIES: [(bool, bool, bool); 8] = [
+    (false, false, false),
+    (true, false, false),
+    (false, true, false),
+    (true, true, false),
+    (false, false, true),
+    (true, false, true),
+    (false, true, true),
+    (true, true, true),
+];
+
+fn identity_gl(compl: bool) -> GateList {
+    GateList { n_leaves: 1, gates: vec![], root: GateList::leaf(0, compl) }
+}
+
+fn and2_gl(out_compl: bool) -> GateList {
+    // Complement is folded into the leaf literals by the caller, so the gate
+    // is a plain AND of leaf 0 and leaf 1.
+    GateList {
+        n_leaves: 2,
+        gates: vec![(GateList::leaf(0, false), GateList::leaf(1, false))],
+        root: 2 << 1 | out_compl as u32,
+    }
+}
+
+/// Truth tables (over the cut leaves) of every node in the cone of `root`
+/// above `leaves`, leaves included. Returns the table map and a topological
+/// listing of the window's nodes.
+fn window_tts(aig: &Aig, root: Var, leaves: &[Var]) -> (aig::hash::FastMap<Var, Tt>, Vec<Var>) {
+    let nv = leaves.len();
+    let mut tts = aig::hash::FastMap::default();
+    let mut order = Vec::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        tts.insert(l, Tt::var(nv, i));
+        order.push(l);
+    }
+    let mut stack = vec![(root, false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if tts.contains_key(&v) {
+            continue;
+        }
+        let n = aig.node(v);
+        debug_assert!(n.is_and(), "leaves must cover the cone");
+        let (a, b) = (n.fanin0(), n.fanin1());
+        if expanded {
+            let ta = tts[&a.var()].clone();
+            let tb = tts[&b.var()].clone();
+            let ta = if a.is_compl() { !ta } else { ta };
+            let tb = if b.is_compl() { !tb } else { tb };
+            tts.insert(v, ta & tb);
+            order.push(v);
+        } else {
+            stack.push((v, true));
+            if !tts.contains_key(&a.var()) {
+                stack.push((a.var(), false));
+            }
+            if !tts.contains_key(&b.var()) {
+                stack.push((b.var(), false));
+            }
+        }
+    }
+    (tts, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::check::{exhaustive_equiv, sim_equiv};
+
+    fn random_aig(seed: u64, n_pis: usize, n_gates: usize) -> Aig {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let pis = g.add_pis(n_pis);
+        let mut pool: Vec<Lit> = pis;
+        for _ in 0..n_gates {
+            let a = pool[rng.gen_range(0..pool.len())].xor_compl(rng.gen());
+            let b = pool[rng.gen_range(0..pool.len())].xor_compl(rng.gen());
+            let l = match rng.gen_range(0..4) {
+                0 | 1 => g.and(a, b),
+                2 => g.or(a, b),
+                _ => g.xor(a, b),
+            };
+            pool.push(l);
+        }
+        let n = pool.len();
+        g.add_po(pool[n - 1]);
+        g.add_po(pool[n / 2]);
+        g
+    }
+
+    #[test]
+    fn preserves_function_small() {
+        for seed in 0..8 {
+            let g = random_aig(seed, 6, 50);
+            let h = resub(&g, &ResubParams::default());
+            assert!(exhaustive_equiv(&g, &h), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preserves_function_larger() {
+        for seed in 60..63 {
+            let g = random_aig(seed, 20, 300);
+            let h = resub(&g, &ResubParams::default());
+            assert!(sim_equiv(&g, &h, 8, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn finds_zero_resub() {
+        // Two structurally different but equivalent cones; resub should
+        // forward one to the other.
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        // xor built twice with different structure.
+        let x1 = g.xor(a, b);
+        let o = g.or(a, b);
+        let na = g.and(a, b);
+        let x2 = g.and(o, !na); // same function as x1
+        let u1 = g.and(x1, c);
+        let u2 = g.and(x2, !c);
+        g.add_po(u1);
+        g.add_po(u2);
+        let before = g.num_ands();
+        let h = resub(&g, &ResubParams::default());
+        assert!(exhaustive_equiv(&g, &h));
+        assert!(h.num_ands() < before, "{} !< {}", h.num_ands(), before);
+    }
+
+    #[test]
+    fn does_not_grow() {
+        for seed in 10..16 {
+            let g = random_aig(seed, 8, 100);
+            let h = resub(&g, &ResubParams::default());
+            assert!(h.num_ands() <= g.num_ands(), "seed {seed}");
+        }
+    }
+}

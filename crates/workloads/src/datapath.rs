@@ -1,0 +1,414 @@
+//! Datapath circuit generators.
+//!
+//! The paper builds its benchmark from industrial *datapath* circuits; we
+//! generate the classic datapath blocks — adders in several architectures,
+//! multipliers, comparators, ALUs, MUX trees, parity trees — so that LEC
+//! miters can compare *architecturally different but functionally equal*
+//! implementations (the hard, realistic case for equivalence checking).
+
+use aig::{Aig, Lit};
+
+/// A generated combinational block: the graph plus its I/O grouping.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The circuit.
+    pub aig: Aig,
+    /// Human-readable architecture tag (e.g. `"rca8"`).
+    pub name: String,
+}
+
+/// Ripple-carry adder: `n`-bit a + b (+ cin), `n+1` outputs (sum, cout).
+pub fn ripple_carry_adder(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let mut carry = Lit::FALSE;
+    for i in 0..n {
+        let (s, c) = full_adder(&mut g, a[i], b[i], carry);
+        g.add_po(s);
+        carry = c;
+    }
+    g.add_po(carry);
+    Block { aig: g, name: format!("rca{n}") }
+}
+
+/// Carry-lookahead adder (block size 1, i.e. explicit generate/propagate
+/// prefix chain): same function as [`ripple_carry_adder`], different
+/// structure.
+pub fn carry_lookahead_adder(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    // Generate/propagate.
+    let gen: Vec<Lit> = (0..n).map(|i| g.and(a[i], b[i])).collect();
+    let prop: Vec<Lit> = (0..n).map(|i| g.xor(a[i], b[i])).collect();
+    // Carries by lookahead expansion c[i+1] = g[i] | p[i] & c[i], flattened.
+    let mut carries = vec![Lit::FALSE];
+    for i in 0..n {
+        // c_{i+1} = g_i | (p_i & g_{i-1}) | (p_i & p_{i-1} & g_{i-2}) | ...
+        let mut terms = vec![gen[i]];
+        let mut prefix = prop[i];
+        for j in (0..i).rev() {
+            terms.push(g.and(prefix, gen[j]));
+            prefix = g.and(prefix, prop[j]);
+        }
+        let c = g.or_many(&terms);
+        carries.push(c);
+    }
+    for i in 0..n {
+        let s = g.xor(prop[i], carries[i]);
+        g.add_po(s);
+    }
+    g.add_po(carries[n]);
+    Block { aig: g, name: format!("cla{n}") }
+}
+
+/// Carry-select adder with the given block width: a third adder structure.
+pub fn carry_select_adder(n: usize, block: usize) -> Block {
+    assert!(block >= 1, "block width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(n);
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + block).min(n);
+        // Two speculative ripple blocks (cin = 0 and cin = 1).
+        let mut c0 = Lit::FALSE;
+        let mut c1 = Lit::TRUE;
+        let mut s0 = Vec::new();
+        let mut s1 = Vec::new();
+        for i in lo..hi {
+            let (s, c) = full_adder(&mut g, a[i], b[i], c0);
+            s0.push(s);
+            c0 = c;
+            let (s, c) = full_adder(&mut g, a[i], b[i], c1);
+            s1.push(s);
+            c1 = c;
+        }
+        for (s0i, s1i) in s0.into_iter().zip(s1) {
+            let s = g.mux(carry, s1i, s0i);
+            sums.push(s);
+        }
+        carry = g.mux(carry, c1, c0);
+        lo = hi;
+    }
+    for s in sums {
+        g.add_po(s);
+    }
+    g.add_po(carry);
+    Block { aig: g, name: format!("csel{n}x{block}") }
+}
+
+/// Array multiplier: `n`-bit a × b, `2n` outputs, row-by-row accumulation.
+pub fn array_multiplier(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * n];
+    for (i, &bi) in b.iter().enumerate() {
+        // Partial product row i.
+        let row: Vec<Lit> = a.iter().map(|&aj| g.and(aj, bi)).collect();
+        // Add row into acc at offset i (ripple).
+        let mut carry = Lit::FALSE;
+        for (j, &r) in row.iter().enumerate() {
+            let (s, c) = full_adder(&mut g, acc[i + j], r, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Propagate remaining carry.
+        let mut k = i + n;
+        while carry != Lit::FALSE && k < 2 * n {
+            let (s, c) = half_adder(&mut g, acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for s in acc {
+        g.add_po(s);
+    }
+    Block { aig: g, name: format!("mul{n}") }
+}
+
+/// Shift-and-add multiplier with column-wise (transposed) accumulation —
+/// functionally identical to [`array_multiplier`], structurally different.
+pub fn column_multiplier(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    // Column k collects partial-product bits a[j] & b[k-j].
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * n];
+    for i in 0..n {
+        for j in 0..n {
+            let p = g.and(a[j], b[i]);
+            columns[i + j].push(p);
+        }
+    }
+    // Carry-save column compression with full/half adders.
+    let mut outputs = Vec::with_capacity(2 * n);
+    for k in 0..2 * n {
+        let mut col = std::mem::take(&mut columns[k]);
+        while col.len() > 1 {
+            if col.len() >= 3 {
+                let (x, y, z) = (col.remove(0), col.remove(0), col.remove(0));
+                let t = g.xor(x, y);
+                let s = g.xor(t, z);
+                let c1 = g.and(x, y);
+                let c2 = g.and(t, z);
+                let c = g.or(c1, c2);
+                col.push(s);
+                if k + 1 < 2 * n {
+                    columns[k + 1].push(c);
+                }
+            } else {
+                let (x, y) = (col.remove(0), col.remove(0));
+                let s = g.xor(x, y);
+                let c = g.and(x, y);
+                col.push(s);
+                if k + 1 < 2 * n {
+                    columns[k + 1].push(c);
+                }
+            }
+        }
+        outputs.push(col.pop().unwrap_or(Lit::FALSE));
+    }
+    for s in outputs {
+        g.add_po(s);
+    }
+    Block { aig: g, name: format!("cmul{n}") }
+}
+
+/// Equality comparator (`a == b`, one output).
+pub fn comparator_eq(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let eqs: Vec<Lit> = (0..n).map(|i| g.xnor(a[i], b[i])).collect();
+    let out = g.and_many(&eqs);
+    g.add_po(out);
+    Block { aig: g, name: format!("eq{n}") }
+}
+
+/// Unsigned less-than comparator (`a < b`, one output).
+pub fn comparator_lt(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    // From LSB: lt = (!a & b) | (a==b) & lt_prev.
+    let mut lt = Lit::FALSE;
+    for i in 0..n {
+        let bi_gt = g.and(!a[i], b[i]);
+        let eq = g.xnor(a[i], b[i]);
+        let keep = g.and(eq, lt);
+        lt = g.or(bi_gt, keep);
+    }
+    g.add_po(lt);
+    Block { aig: g, name: format!("lt{n}") }
+}
+
+/// A small ALU: two `n`-bit operands, 2 select bits choosing between
+/// `a + b`, `a & b`, `a | b`, `a ^ b`; `n` outputs.
+pub fn alu(n: usize) -> Block {
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let s = g.add_pis(2);
+    let mut carry = Lit::FALSE;
+    for i in 0..n {
+        let (sum, c) = full_adder(&mut g, a[i], b[i], carry);
+        carry = c;
+        let and = g.and(a[i], b[i]);
+        let or = g.or(a[i], b[i]);
+        let xor = g.xor(a[i], b[i]);
+        let lo = g.mux(s[0], and, sum);
+        let hi = g.mux(s[0], xor, or);
+        let out = g.mux(s[1], hi, lo);
+        g.add_po(out);
+    }
+    Block { aig: g, name: format!("alu{n}") }
+}
+
+/// Balanced multiplexer tree: `2^k` data inputs, `k` selects, one output.
+pub fn mux_tree(k: usize) -> Block {
+    let mut g = Aig::new();
+    let data = g.add_pis(1 << k);
+    let sel = g.add_pis(k);
+    let mut layer = data;
+    for (level, &s) in sel.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(g.mux(s, pair[1], pair[0]));
+        }
+        layer = next;
+        debug_assert_eq!(layer.len(), 1 << (k - level - 1));
+    }
+    g.add_po(layer[0]);
+    Block { aig: g, name: format!("mux{}", 1 << k) }
+}
+
+/// Parity tree over `n` inputs (one output) — maximally XOR-heavy logic.
+pub fn parity(n: usize) -> Block {
+    let mut g = Aig::new();
+    let pis = g.add_pis(n);
+    let x = g.xor_many(&pis);
+    g.add_po(x);
+    Block { aig: g, name: format!("par{n}") }
+}
+
+fn full_adder(g: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let t = g.xor(a, b);
+    let s = g.xor(t, cin);
+    let c1 = g.and(a, b);
+    let c2 = g.and(t, cin);
+    let c = g.or(c1, c2);
+    (s, c)
+}
+
+fn half_adder(g: &mut Aig, a: Lit, b: Lit) -> (Lit, Lit) {
+    (g.xor(a, b), g.and(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::check::exhaustive_equiv;
+
+    fn num(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn adders_add() {
+        for n in [2usize, 3, 4] {
+            for blk in [ripple_carry_adder(n), carry_lookahead_adder(n), carry_select_adder(n, 2)]
+            {
+                for av in 0..(1u64 << n) {
+                    for bv in 0..(1u64 << n) {
+                        let mut ins = Vec::new();
+                        for i in 0..n {
+                            ins.push(av >> i & 1 != 0);
+                        }
+                        for i in 0..n {
+                            ins.push(bv >> i & 1 != 0);
+                        }
+                        let out = blk.aig.eval(&ins);
+                        assert_eq!(num(&out), av + bv, "{} a={av} b={bv}", blk.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_architectures_equivalent() {
+        for n in [3usize, 5] {
+            let r = ripple_carry_adder(n);
+            let c = carry_lookahead_adder(n);
+            let s = carry_select_adder(n, 2);
+            assert!(exhaustive_equiv(&r.aig, &c.aig), "rca vs cla n={n}");
+            assert!(exhaustive_equiv(&r.aig, &s.aig), "rca vs csel n={n}");
+        }
+    }
+
+    #[test]
+    fn multipliers_multiply_and_agree() {
+        for n in [2usize, 3, 4] {
+            let m1 = array_multiplier(n);
+            let m2 = column_multiplier(n);
+            for av in 0..(1u64 << n) {
+                for bv in 0..(1u64 << n) {
+                    let mut ins = Vec::new();
+                    for i in 0..n {
+                        ins.push(av >> i & 1 != 0);
+                    }
+                    for i in 0..n {
+                        ins.push(bv >> i & 1 != 0);
+                    }
+                    assert_eq!(num(&m1.aig.eval(&ins)), av * bv, "mul n={n}");
+                    assert_eq!(num(&m2.aig.eval(&ins)), av * bv, "cmul n={n}");
+                }
+            }
+            assert!(exhaustive_equiv(&m1.aig, &m2.aig), "n={n}");
+        }
+    }
+
+    #[test]
+    fn comparators_compare() {
+        let n = 4;
+        let eq = comparator_eq(n);
+        let lt = comparator_lt(n);
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let mut ins = Vec::new();
+                for i in 0..n {
+                    ins.push(av >> i & 1 != 0);
+                }
+                for i in 0..n {
+                    ins.push(bv >> i & 1 != 0);
+                }
+                assert_eq!(eq.aig.eval(&ins), vec![av == bv]);
+                assert_eq!(lt.aig.eval(&ins), vec![av < bv]);
+            }
+        }
+    }
+
+    #[test]
+    fn alu_selects_operations() {
+        let n = 3;
+        let blk = alu(n);
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                for op in 0..4u64 {
+                    let mut ins = Vec::new();
+                    for i in 0..n {
+                        ins.push(av >> i & 1 != 0);
+                    }
+                    for i in 0..n {
+                        ins.push(bv >> i & 1 != 0);
+                    }
+                    ins.push(op & 1 != 0);
+                    ins.push(op & 2 != 0);
+                    let out = num(&blk.aig.eval(&ins));
+                    let mask = (1u64 << n) - 1;
+                    let expect = match op {
+                        0 => (av + bv) & mask,
+                        1 => av & bv,
+                        2 => av | bv,
+                        _ => av ^ bv,
+                    };
+                    assert_eq!(out, expect, "op={op} a={av} b={bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let k = 3;
+        let blk = mux_tree(k);
+        for data in 0..(1u32 << (1 << k)) {
+            if data % 37 != 0 {
+                continue; // sample the data space
+            }
+            for sel in 0..(1u32 << k) {
+                let mut ins: Vec<bool> = (0..(1 << k)).map(|i| data >> i & 1 != 0).collect();
+                for i in 0..k {
+                    ins.push(sel >> i & 1 != 0);
+                }
+                let out = blk.aig.eval(&ins);
+                assert_eq!(out, vec![data >> sel & 1 != 0], "data={data:#x} sel={sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let blk = parity(5);
+        for m in 0..32u32 {
+            let ins: Vec<bool> = (0..5).map(|i| m >> i & 1 != 0).collect();
+            assert_eq!(blk.aig.eval(&ins), vec![m.count_ones() % 2 == 1]);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Encoders, counters, and code converters.
+//!
+//! Priority encoders, population counts, and Gray-code converters round
+//! out the workload families: control-dominated logic (priority chains),
+//! XOR-heavy arithmetic (popcount adder trees), and self-inverse code
+//! pairs whose composition miters (`gray2bin(bin2gray(x)) == x`) are
+//! natural UNSAT instances.
+
+use crate::datapath::Block;
+use aig::{Aig, Lit};
+
+/// Priority encoder: `n` request lines in, `ceil(log2 n)` index bits of
+/// the *highest-priority* (lowest-index) active line, plus a `valid` bit.
+pub fn priority_encoder(n: usize) -> Block {
+    assert!(n >= 1, "need at least one request line");
+    let bits = n.next_power_of_two().trailing_zeros() as usize;
+    let mut g = Aig::new();
+    let req = g.add_pis(n);
+    // grant[i] = req[i] & !req[0] & … & !req[i-1].
+    let mut none_before = Lit::TRUE;
+    let mut grants = Vec::with_capacity(n);
+    for &r in &req {
+        grants.push(g.and(r, none_before));
+        none_before = g.and(none_before, !r);
+    }
+    // Index output: OR of grants whose index has the bit set.
+    for bit in 0..bits {
+        let terms: Vec<Lit> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> bit & 1 != 0)
+            .map(|(_, &gr)| gr)
+            .collect();
+        let out = g.or_many(&terms);
+        g.add_po(out);
+    }
+    let valid = g.or_many(&req);
+    g.add_po(valid);
+    Block { aig: g, name: format!("prio{n}") }
+}
+
+/// Population count: `n` inputs, `ceil(log2(n+1))` output bits holding the
+/// number of ones — a balanced tree of small adders, XOR-dominated.
+pub fn popcount(n: usize) -> Block {
+    assert!(n >= 1, "need at least one input");
+    let mut g = Aig::new();
+    let pis = g.add_pis(n);
+    // Start with n one-bit numbers, then pairwise add until one remains.
+    let mut numbers: Vec<Vec<Lit>> = pis.iter().map(|&p| vec![p]).collect();
+    while numbers.len() > 1 {
+        let mut next = Vec::with_capacity(numbers.len().div_ceil(2));
+        let mut it = numbers.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(add_words(&mut g, &a, &b)),
+                None => next.push(a),
+            }
+        }
+        numbers = next;
+    }
+    // Pairwise addition over-provisions the top bits; the count never
+    // exceeds n, so trim to the minimal width (the trimmed bits are
+    // semantically constant false).
+    let needed = (u64::BITS - (n as u64).leading_zeros()) as usize;
+    let mut word = numbers.pop().expect("one number left");
+    word.truncate(needed);
+    for bit in word {
+        g.add_po(bit);
+    }
+    Block { aig: g, name: format!("pop{n}") }
+}
+
+/// Ripple addition of two little-endian words of possibly different width,
+/// producing a word wide enough for the full sum.
+fn add_words(g: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let width = a.len().max(b.len()) + 1;
+    let mut out = Vec::with_capacity(width);
+    let mut carry = Lit::FALSE;
+    for i in 0..width - 1 {
+        let x = a.get(i).copied().unwrap_or(Lit::FALSE);
+        let y = b.get(i).copied().unwrap_or(Lit::FALSE);
+        let t = g.xor(x, y);
+        let s = g.xor(t, carry);
+        let c1 = g.and(x, y);
+        let c2 = g.and(t, carry);
+        carry = g.or(c1, c2);
+        out.push(s);
+    }
+    out.push(carry);
+    out
+}
+
+/// Binary-to-Gray converter: `g_i = b_i ⊕ b_{i+1}` (`n` in, `n` out).
+pub fn bin_to_gray(n: usize) -> Block {
+    assert!(n >= 1, "need at least one bit");
+    let mut g = Aig::new();
+    let b = g.add_pis(n);
+    for i in 0..n {
+        let out = if i + 1 < n { g.xor(b[i], b[i + 1]) } else { b[i] };
+        g.add_po(out);
+    }
+    Block { aig: g, name: format!("b2g{n}") }
+}
+
+/// Gray-to-binary converter: `b_i = g_i ⊕ g_{i+1} ⊕ … ⊕ g_{n-1}` —
+/// the inverse of [`bin_to_gray`].
+pub fn gray_to_bin(n: usize) -> Block {
+    assert!(n >= 1, "need at least one bit");
+    let mut g = Aig::new();
+    let gr = g.add_pis(n);
+    let mut suffix = Lit::FALSE;
+    let mut outs = vec![Lit::FALSE; n];
+    for i in (0..n).rev() {
+        suffix = g.xor(gr[i], suffix);
+        outs[i] = suffix;
+    }
+    for out in outs {
+        g.add_po(out);
+    }
+    Block { aig: g, name: format!("g2b{n}") }
+}
+
+/// The composition `gray_to_bin(bin_to_gray(x))`: functionally the
+/// identity, structurally two XOR cascades — its miter against a plain
+/// wire bundle is UNSAT and purely XOR-reasoning-bound.
+pub fn gray_roundtrip(n: usize) -> Block {
+    assert!(n >= 1, "need at least one bit");
+    let mut g = Aig::new();
+    let b = g.add_pis(n);
+    // bin -> gray.
+    let gray: Vec<Lit> =
+        (0..n).map(|i| if i + 1 < n { g.xor(b[i], b[i + 1]) } else { b[i] }).collect();
+    // gray -> bin.
+    let mut suffix = Lit::FALSE;
+    let mut outs = vec![Lit::FALSE; n];
+    for i in (0..n).rev() {
+        suffix = g.xor(gray[i], suffix);
+        outs[i] = suffix;
+    }
+    for out in outs {
+        g.add_po(out);
+    }
+    Block { aig: g, name: format!("grt{n}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn priority_encoder_reports_lowest_active() {
+        let n = 6;
+        let blk = priority_encoder(n);
+        for mask in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| mask >> i & 1 != 0).collect();
+            let out = blk.aig.eval(&ins);
+            let (index_bits, valid) = out.split_at(out.len() - 1);
+            assert_eq!(valid[0], mask != 0, "mask={mask:#b}");
+            if mask != 0 {
+                assert_eq!(num(index_bits), mask.trailing_zeros() as u64, "mask={mask:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        for n in [1usize, 3, 5, 8] {
+            let blk = popcount(n);
+            for mask in 0..(1u64 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| mask >> i & 1 != 0).collect();
+                assert_eq!(num(&blk.aig.eval(&ins)), mask.count_ones() as u64, "n={n} mask={mask:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_roundtrips() {
+        let n = 6;
+        let b2g = bin_to_gray(n);
+        let g2b = gray_to_bin(n);
+        for v in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| v >> i & 1 != 0).collect();
+            let gray = b2g.aig.eval(&ins);
+            let back = g2b.aig.eval(&gray);
+            assert_eq!(num(&back), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit() {
+        let n = 5;
+        let b2g = bin_to_gray(n);
+        for v in 0..(1u64 << n) - 1 {
+            let ins = |x: u64| -> Vec<bool> { (0..n).map(|i| x >> i & 1 != 0).collect() };
+            let a = num(&b2g.aig.eval(&ins(v)));
+            let b = num(&b2g.aig.eval(&ins(v + 1)));
+            assert_eq!((a ^ b).count_ones(), 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_block_is_identity() {
+        let n = 7;
+        let blk = gray_roundtrip(n);
+        for v in [0u64, 1, 42, 100, 127] {
+            let ins: Vec<bool> = (0..n).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(num(&blk.aig.eval(&ins)), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn popcount_width_is_minimal() {
+        assert_eq!(popcount(1).aig.num_pos(), 1);
+        assert_eq!(popcount(3).aig.num_pos(), 2);
+        assert_eq!(popcount(7).aig.num_pos(), 3);
+        assert_eq!(popcount(8).aig.num_pos(), 4);
+    }
+}

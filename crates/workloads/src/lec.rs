@@ -1,0 +1,184 @@
+//! Logic-equivalence-checking (LEC) instance construction.
+//!
+//! Following the paper's recipe verbatim: take two implementations of a
+//! datapath circuit, "connect their primary outputs through XOR gates", and
+//! OR the XORs into a single miter output. The miter is satisfiable iff the
+//! two circuits differ — UNSAT for genuine equivalence proofs (the hard
+//! case), SAT when one side carries an injected bug.
+
+use aig::{Aig, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the XOR-OR miter of two circuits with identical I/O shape.
+///
+/// The returned instance has the same PIs (shared by both sides) and one PO
+/// that is 1 iff some output pair differs.
+///
+/// # Panics
+/// Panics if PI or PO counts differ.
+pub fn miter(a: &Aig, b: &Aig) -> Aig {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+    let mut g = Aig::new();
+    let pis = g.add_pis(a.num_pis());
+    let outs_a = copy_into(a, &mut g, &pis);
+    let outs_b = copy_into(b, &mut g, &pis);
+    let xors: Vec<Lit> =
+        outs_a.iter().zip(&outs_b).map(|(&x, &y)| g.xor(x, y)).collect();
+    let out = g.or_many(&xors);
+    g.add_po(out);
+    g
+}
+
+/// Copies a circuit into `g`, driving its PIs from `pis`; returns its PO
+/// literals inside `g`.
+pub fn copy_into(src: &Aig, g: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
+    assert_eq!(pis.len(), src.num_pis(), "PI count mismatch");
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.num_nodes()];
+    for (i, &pi) in src.pis().iter().enumerate() {
+        map[pi as usize] = pis[i];
+    }
+    for v in src.iter_ands() {
+        let n = src.node(v);
+        let f0 = map[n.fanin0().var() as usize].xor_compl(n.fanin0().is_compl());
+        let f1 = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
+        map[v as usize] = g.and(f0, f1);
+    }
+    src.pos().iter().map(|po| map[po.var() as usize].xor_compl(po.is_compl())).collect()
+}
+
+/// Injects a random single-gate bug: one AND gate's fanin edge polarity is
+/// flipped. Retries until the bug is observable on random patterns, so the
+/// resulting miter against the original is satisfiable.
+///
+/// Returns `None` if the circuit has no AND gates or no injected bug became
+/// observable after `tries` attempts.
+pub fn inject_bug(src: &Aig, seed: u64, tries: usize) -> Option<Aig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let and_vars: Vec<u32> = src.iter_ands().collect();
+    if and_vars.is_empty() {
+        return None;
+    }
+    for _ in 0..tries {
+        let victim = and_vars[rng.gen_range(0..and_vars.len())];
+        let flip_first: bool = rng.gen();
+        let buggy = rebuild_with_flip(src, victim, flip_first);
+        if !aig::check::sim_equiv(src, &buggy, 4, rng.gen()) {
+            return Some(buggy);
+        }
+    }
+    None
+}
+
+fn rebuild_with_flip(src: &Aig, victim: u32, flip_first: bool) -> Aig {
+    let mut g = Aig::new();
+    let pis = g.add_pis(src.num_pis());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.num_nodes()];
+    for (i, &pi) in src.pis().iter().enumerate() {
+        map[pi as usize] = pis[i];
+    }
+    for v in src.iter_ands() {
+        let n = src.node(v);
+        let mut f0 = map[n.fanin0().var() as usize].xor_compl(n.fanin0().is_compl());
+        let mut f1 = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
+        if v == victim {
+            if flip_first {
+                f0 = !f0;
+            } else {
+                f1 = !f1;
+            }
+        }
+        map[v as usize] = g.and(f0, f1);
+    }
+    for po in src.pos() {
+        let l = map[po.var() as usize].xor_compl(po.is_compl());
+        g.add_po(l);
+    }
+    g
+}
+
+/// Structurally perturbs a circuit while preserving its function: AND trees
+/// are randomly re-associated and a sprinkling of redundant gates is added.
+/// Useful for equivalence pairs when only one architecture is available.
+pub fn restructure(src: &Aig, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let pis = g.add_pis(src.num_pis());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.num_nodes()];
+    for (i, &pi) in src.pis().iter().enumerate() {
+        map[pi as usize] = pis[i];
+    }
+    for v in src.iter_ands() {
+        let n = src.node(v);
+        let f0 = map[n.fanin0().var() as usize].xor_compl(n.fanin0().is_compl());
+        let f1 = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
+        let mut l = g.and(f0, f1);
+        // Occasionally add absorbing redundancy: x -> x & (x | y).
+        if rng.gen_bool(0.08) {
+            let other = if rng.gen() { f0 } else { f1 };
+            let o = g.or(l, other.xor_compl(rng.gen()));
+            let o2 = g.or(l, !other);
+            let both = g.and(o, o2);
+            l = g.and(l, both); // still equals l
+        }
+        map[v as usize] = l;
+    }
+    for po in src.pos() {
+        let l = map[po.var() as usize].xor_compl(po.is_compl());
+        g.add_po(l);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::{carry_lookahead_adder, ripple_carry_adder};
+    use aig::check::exhaustive_equiv;
+
+    #[test]
+    fn miter_of_equivalent_is_const_false_function() {
+        let a = ripple_carry_adder(3);
+        let b = carry_lookahead_adder(3);
+        let m = miter(&a.aig, &b.aig);
+        assert_eq!(m.num_pos(), 1);
+        for p in 0..64usize {
+            let ins: Vec<bool> = (0..6).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(m.eval(&ins), vec![false], "p={p}");
+        }
+    }
+
+    #[test]
+    fn miter_of_buggy_is_satisfiable_somewhere() {
+        let a = ripple_carry_adder(3);
+        let buggy = inject_bug(&a.aig, 7, 50).expect("bug injectable");
+        let m = miter(&a.aig, &buggy);
+        let hit = (0..64usize).any(|p| {
+            let ins: Vec<bool> = (0..6).map(|i| p >> i & 1 != 0).collect();
+            m.eval(&ins)[0]
+        });
+        assert!(hit, "injected bug must be observable");
+    }
+
+    #[test]
+    fn restructure_preserves_function() {
+        let a = ripple_carry_adder(4);
+        let r = restructure(&a.aig, 3);
+        assert!(exhaustive_equiv(&a.aig, &r));
+        assert!(r.num_ands() >= a.aig.num_ands(), "redundancy should not shrink");
+    }
+
+    #[test]
+    fn copy_into_respects_complemented_pos() {
+        let mut src = Aig::new();
+        let x = src.add_pi();
+        src.add_po(!x);
+        let mut g = Aig::new();
+        let pis = g.add_pis(1);
+        let outs = copy_into(&src, &mut g, &pis);
+        g.add_po(outs[0]);
+        assert_eq!(g.eval(&[true]), vec![false]);
+        assert_eq!(g.eval(&[false]), vec![true]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parallel-prefix adders.
+//!
+//! Three classic prefix networks — Kogge–Stone, Brent–Kung, Sklansky — all
+//! computing the same carry function through structurally different
+//! generate/propagate trees. Mitred against each other (or against the
+//! [`crate::datapath`] adders) they produce the deep, reconvergent UNSAT
+//! instances that dominate industrial LEC suites.
+
+use crate::datapath::Block;
+use aig::{Aig, Lit};
+
+/// One generate/propagate pair.
+#[derive(Clone, Copy, Debug)]
+struct Gp {
+    g: Lit,
+    p: Lit,
+}
+
+/// Prefix combine: `(g_hi, p_hi) ∘ (g_lo, p_lo)`.
+fn combine(aig: &mut Aig, hi: Gp, lo: Gp) -> Gp {
+    let t = aig.and(hi.p, lo.g);
+    Gp { g: aig.or(hi.g, t), p: aig.and(hi.p, lo.p) }
+}
+
+/// Leaf generate/propagate terms for `a + b`.
+fn leaves(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Gp> {
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| Gp { g: aig.and(ai, bi), p: aig.xor(ai, bi) })
+        .collect()
+}
+
+/// Emits sum bits and the carry-out from prefix terms (`pre[i]` spans bits
+/// `0..=i`).
+fn emit_sums(aig: &mut Aig, leaf: &[Gp], pre: &[Gp]) {
+    let n = leaf.len();
+    for i in 0..n {
+        let carry_in = if i == 0 { Lit::FALSE } else { pre[i - 1].g };
+        let s = aig.xor(leaf[i].p, carry_in);
+        aig.add_po(s);
+    }
+    aig.add_po(pre[n - 1].g);
+}
+
+/// Kogge–Stone adder: minimal depth, maximal wiring — `log2(n)` levels of
+/// distance-doubling combines.
+///
+/// I/O shape matches [`crate::datapath::ripple_carry_adder`]: `2n` inputs,
+/// `n+1` outputs (sum bits then carry-out).
+pub fn kogge_stone_adder(n: usize) -> Block {
+    assert!(n >= 1, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let leaf = leaves(&mut g, &a, &b);
+    // pre[i] spans bits 0..=i; start at distance 1, double each level.
+    let mut pre = leaf.clone();
+    let mut dist = 1;
+    while dist < n {
+        let mut next = pre.clone();
+        for (i, slot) in next.iter_mut().enumerate().skip(dist) {
+            *slot = combine(&mut g, pre[i], pre[i - dist]);
+        }
+        pre = next;
+        dist *= 2;
+    }
+    emit_sums(&mut g, &leaf, &pre);
+    Block { aig: g, name: format!("ks{n}") }
+}
+
+/// Brent–Kung adder: minimal wiring, ~`2·log2(n)` levels — an up-sweep
+/// building power-of-two spans followed by a down-sweep filling the gaps.
+pub fn brent_kung_adder(n: usize) -> Block {
+    assert!(n >= 1, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let leaf = leaves(&mut g, &a, &b);
+    let mut pre = leaf.clone();
+    // Up-sweep: after level d, indices i ≡ 2^(d+1)-1 (mod 2^(d+1)) span
+    // their full 2^(d+1) block.
+    let mut span = 1;
+    while span < n {
+        let step = span * 2;
+        let mut i = step - 1;
+        while i < n {
+            pre[i] = combine(&mut g, pre[i], pre[i - span]);
+            i += step;
+        }
+        span = step;
+    }
+    // Down-sweep: fill in the remaining prefixes from the block roots.
+    span /= 2;
+    while span >= 1 {
+        let step = span * 2;
+        let mut i = step + span - 1;
+        while i < n {
+            pre[i] = combine(&mut g, pre[i], pre[i - span]);
+            i += step;
+        }
+        span /= 2;
+    }
+    emit_sums(&mut g, &leaf, &pre);
+    Block { aig: g, name: format!("bk{n}") }
+}
+
+/// Sklansky (divide-and-conquer) adder: `log2(n)` levels with high-fanout
+/// block roots.
+pub fn sklansky_adder(n: usize) -> Block {
+    assert!(n >= 1, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let leaf = leaves(&mut g, &a, &b);
+    let mut pre = leaf.clone();
+    let mut span = 1;
+    while span < n {
+        let step = span * 2;
+        // Each block of `step` bits: the upper half combines with the
+        // top of the lower half.
+        let mut base = 0;
+        while base + span < n {
+            let root = base + span - 1;
+            for i in (base + span)..(base + step).min(n) {
+                pre[i] = combine(&mut g, pre[i], pre[root]);
+            }
+            base += step;
+        }
+        span = step;
+    }
+    emit_sums(&mut g, &leaf, &pre);
+    Block { aig: g, name: format!("sk{n}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::ripple_carry_adder;
+    use aig::check::exhaustive_equiv;
+
+    fn num(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    fn check_adds(blk: &Block, n: usize) {
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let mut ins = Vec::new();
+                for i in 0..n {
+                    ins.push(av >> i & 1 != 0);
+                }
+                for i in 0..n {
+                    ins.push(bv >> i & 1 != 0);
+                }
+                assert_eq!(num(&blk.aig.eval(&ins)), av + bv, "{} a={av} b={bv}", blk.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_adds() {
+        for n in [1usize, 2, 3, 4, 5, 6] {
+            check_adds(&kogge_stone_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn brent_kung_adds() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7] {
+            check_adds(&brent_kung_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn sklansky_adds() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+            check_adds(&sklansky_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn prefix_families_mutually_equivalent() {
+        for n in [4usize, 6, 7] {
+            let ks = kogge_stone_adder(n);
+            let bk = brent_kung_adder(n);
+            let sk = sklansky_adder(n);
+            let rca = ripple_carry_adder(n);
+            assert!(exhaustive_equiv(&ks.aig, &bk.aig), "ks vs bk n={n}");
+            assert!(exhaustive_equiv(&ks.aig, &sk.aig), "ks vs sk n={n}");
+            assert!(exhaustive_equiv(&ks.aig, &rca.aig), "ks vs rca n={n}");
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        let ks = kogge_stone_adder(16);
+        let rca = ripple_carry_adder(16);
+        assert!(
+            ks.aig.depth() < rca.aig.depth(),
+            "prefix depth {} must beat ripple depth {}",
+            ks.aig.depth(),
+            rca.aig.depth()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Random layered AIG generation — filler logic for dataset variety and
+//! stress tests.
+
+use aig::{Aig, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomAigParams {
+    /// Primary inputs.
+    pub n_pis: usize,
+    /// Gates to create.
+    pub n_gates: usize,
+    /// Primary outputs (taken from the last created gates).
+    pub n_pos: usize,
+    /// Probability that a new gate's operand is complemented.
+    pub compl_prob: f64,
+    /// Locality window: operands are drawn from the last `window` signals
+    /// (0 = uniform over everything), giving layered, deep circuits.
+    pub window: usize,
+}
+
+impl Default for RandomAigParams {
+    fn default() -> RandomAigParams {
+        RandomAigParams { n_pis: 16, n_gates: 200, n_pos: 2, compl_prob: 0.5, window: 32 }
+    }
+}
+
+/// Generates a random AIG; deterministic for a fixed seed.
+///
+/// # Panics
+/// Panics if `n_pis == 0` or `n_pos == 0`.
+pub fn random_aig(params: &RandomAigParams, seed: u64) -> Aig {
+    assert!(params.n_pis > 0, "need at least one PI");
+    assert!(params.n_pos > 0, "need at least one PO");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let pis = g.add_pis(params.n_pis);
+    let mut pool: Vec<Lit> = pis;
+    while pool.len() < params.n_pis + params.n_gates {
+        let lo = if params.window == 0 {
+            0
+        } else {
+            pool.len().saturating_sub(params.window)
+        };
+        let pick = |rng: &mut StdRng, pool: &[Lit]| -> Lit {
+            let i = rng.gen_range(lo.min(pool.len() - 1)..pool.len());
+            pool[i]
+        };
+        let a = pick(&mut rng, &pool).xor_compl(rng.gen_bool(params.compl_prob));
+        let b = pick(&mut rng, &pool).xor_compl(rng.gen_bool(params.compl_prob));
+        let l = match rng.gen_range(0..4) {
+            0 | 1 => g.and(a, b),
+            2 => g.or(a, b),
+            _ => g.xor(a, b),
+        };
+        if !l.is_const() {
+            pool.push(l);
+        }
+    }
+    let n = pool.len();
+    for i in 0..params.n_pos {
+        let idx = n - 1 - (i * 7) % (n.min(64));
+        g.add_po(pool[idx].xor_compl(i % 2 == 1));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = RandomAigParams::default();
+        let a = random_aig(&p, 9);
+        let b = random_aig(&p, 9);
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert!(aig::check::sim_equiv(&a, &b, 2, 3));
+    }
+
+    #[test]
+    fn respects_shape() {
+        let p = RandomAigParams { n_pis: 10, n_gates: 300, n_pos: 4, ..Default::default() };
+        let g = random_aig(&p, 1);
+        assert_eq!(g.num_pis(), 10);
+        assert_eq!(g.num_pos(), 4);
+        assert!(g.num_ands() >= 300, "xor/or expand to multiple ANDs");
+    }
+
+    #[test]
+    fn windowed_generation_is_deep() {
+        let deep = random_aig(
+            &RandomAigParams { window: 4, n_gates: 300, ..Default::default() },
+            5,
+        );
+        let shallow = random_aig(
+            &RandomAigParams { window: 0, n_gates: 300, ..Default::default() },
+            5,
+        );
+        assert!(deep.depth() > shallow.depth(), "{} vs {}", deep.depth(), shallow.depth());
+    }
+}

@@ -1,0 +1,170 @@
+//! Barrel shifters and rotators.
+//!
+//! Two architectures for the same shift function: the logarithmic barrel
+//! shifter (one MUX stage per shift-amount bit) and the decoded shifter
+//! (one-hot decode of the amount, then a wide OR of shifted copies). Their
+//! miters exercise MUX-heavy control logic rather than arithmetic carries.
+
+use crate::datapath::Block;
+use aig::{Aig, Lit};
+
+/// Logarithmic left-shifter: `2^k` data bits, `k` amount bits, `2^k`
+/// outputs; vacated positions fill with zero.
+pub fn barrel_shifter_log(k: usize) -> Block {
+    let n = 1usize << k;
+    let mut g = Aig::new();
+    let data = g.add_pis(n);
+    let amount = g.add_pis(k);
+    let mut layer = data;
+    for (stage, &s) in amount.iter().enumerate() {
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let shifted = if i >= shift { layer[i - shift] } else { Lit::FALSE };
+            next.push(g.mux(s, shifted, layer[i]));
+        }
+        layer = next;
+    }
+    for l in layer {
+        g.add_po(l);
+    }
+    Block { aig: g, name: format!("bshl{n}") }
+}
+
+/// Decoded left-shifter: one-hot decode of the amount, then
+/// `out_i = OR_s (onehot_s & data_{i-s})` — flat, OR-heavy structure,
+/// functionally identical to [`barrel_shifter_log`].
+pub fn barrel_shifter_decoded(k: usize) -> Block {
+    let n = 1usize << k;
+    let mut g = Aig::new();
+    let data = g.add_pis(n);
+    let amount = g.add_pis(k);
+    let onehot = decode_onehot(&mut g, &amount);
+    for i in 0..n {
+        let mut terms = Vec::new();
+        for (s, &oh) in onehot.iter().enumerate() {
+            if s <= i {
+                terms.push(g.and(oh, data[i - s]));
+            }
+        }
+        let out = g.or_many(&terms);
+        g.add_po(out);
+    }
+    Block { aig: g, name: format!("bshd{n}") }
+}
+
+/// Logarithmic left-rotator: like [`barrel_shifter_log`] but bits wrap
+/// around instead of filling with zero.
+pub fn rotator_log(k: usize) -> Block {
+    let n = 1usize << k;
+    let mut g = Aig::new();
+    let data = g.add_pis(n);
+    let amount = g.add_pis(k);
+    let mut layer = data;
+    for (stage, &s) in amount.iter().enumerate() {
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let rotated = layer[(i + n - shift) % n];
+            next.push(g.mux(s, rotated, layer[i]));
+        }
+        layer = next;
+    }
+    for l in layer {
+        g.add_po(l);
+    }
+    Block { aig: g, name: format!("rotl{n}") }
+}
+
+/// One-hot decoder of a `k`-bit binary amount into `2^k` lines.
+fn decode_onehot(g: &mut Aig, amount: &[Lit]) -> Vec<Lit> {
+    let n = 1usize << amount.len();
+    (0..n)
+        .map(|v| {
+            let lits: Vec<Lit> = amount
+                .iter()
+                .enumerate()
+                .map(|(bit, &l)| if v >> bit & 1 != 0 { l } else { !l })
+                .collect();
+            g.and_many(&lits)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::check::exhaustive_equiv;
+
+    fn drive(blk: &Block, n: usize, k: usize, data: u64, amount: u64) -> u64 {
+        let mut ins: Vec<bool> = (0..n).map(|i| data >> i & 1 != 0).collect();
+        ins.extend((0..k).map(|i| amount >> i & 1 != 0));
+        blk.aig
+            .eval(&ins)
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn log_shifter_shifts() {
+        let k = 3;
+        let n = 1 << k;
+        let blk = barrel_shifter_log(k);
+        for data in [0u64, 1, 0x5a, 0xff, 0x81] {
+            for amount in 0..(1u64 << k) {
+                let expect = (data << amount) & ((1 << n) - 1);
+                assert_eq!(drive(&blk, n, k, data, amount), expect, "d={data:#x} a={amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_shifter_matches_log_shifter() {
+        for k in [1usize, 2, 3] {
+            let a = barrel_shifter_log(k);
+            let b = barrel_shifter_decoded(k);
+            assert!(exhaustive_equiv(&a.aig, &b.aig), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rotator_rotates() {
+        let k = 3;
+        let n = 1 << k;
+        let blk = rotator_log(k);
+        for data in [0x01u64, 0xa5, 0x80] {
+            for amount in 0..(1u64 << k) {
+                let expect = ((data << amount) | (data >> (n as u64 - amount) % n as u64))
+                    & ((1 << n) - 1);
+                assert_eq!(drive(&blk, n, k, data, amount), expect, "d={data:#x} a={amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity() {
+        let k = 2;
+        let n = 1 << k;
+        let blk = rotator_log(k);
+        for data in 0..(1u64 << n) {
+            assert_eq!(drive(&blk, n, k, data, 0), data);
+        }
+    }
+
+    #[test]
+    fn onehot_decoder_is_onehot() {
+        let mut g = Aig::new();
+        let amount = g.add_pis(3);
+        let lines = decode_onehot(&mut g, &amount);
+        for l in lines {
+            g.add_po(l);
+        }
+        for v in 0..8u64 {
+            let ins: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+            let out = g.eval(&ins);
+            assert_eq!(out.iter().filter(|&&b| b).count(), 1, "v={v}");
+            assert!(out[v as usize], "line {v} must be hot");
+        }
+    }
+}

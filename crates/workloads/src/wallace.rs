@@ -1,0 +1,241 @@
+//! Wallace-tree and Dadda multipliers.
+//!
+//! Both reduce the partial-product matrix with carry-save compressors, but
+//! with different reduction schedules: Wallace compresses as aggressively
+//! as possible at every level, Dadda delays compression to the latest
+//! level that still meets the height sequence 2, 3, 4, 6, 9, 13, …
+//! Against [`crate::datapath::array_multiplier`] they make the classic
+//! "multiplier architecture equivalence" miters — the hardest family in
+//! the paper's test set.
+
+use crate::datapath::Block;
+use aig::{Aig, Lit};
+
+/// Full-adder compression of three bits into (sum, carry).
+fn compress3(g: &mut Aig, x: Lit, y: Lit, z: Lit) -> (Lit, Lit) {
+    let t = g.xor(x, y);
+    let s = g.xor(t, z);
+    let c1 = g.and(x, y);
+    let c2 = g.and(t, z);
+    let c = g.or(c1, c2);
+    (s, c)
+}
+
+/// Half-adder compression of two bits into (sum, carry).
+fn compress2(g: &mut Aig, x: Lit, y: Lit) -> (Lit, Lit) {
+    (g.xor(x, y), g.and(x, y))
+}
+
+/// The partial-product matrix `columns[k] = { a_j & b_i | i + j = k }`.
+fn partial_products(g: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Vec<Lit>> {
+    let n = a.len();
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * n];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            let p = g.and(aj, bi);
+            columns[i + j].push(p);
+        }
+    }
+    columns
+}
+
+/// Final carry-propagate addition of a two-row carry-save result.
+fn final_ripple(g: &mut Aig, columns: Vec<Vec<Lit>>) {
+    let width = columns.len();
+    let mut carry = Lit::FALSE;
+    for col in columns {
+        debug_assert!(col.len() <= 2, "reduction must leave ≤ 2 rows");
+        let x = col.first().copied().unwrap_or(Lit::FALSE);
+        let y = col.get(1).copied().unwrap_or(Lit::FALSE);
+        let (s, c) = compress3(g, x, y, carry);
+        g.add_po(s);
+        carry = c;
+    }
+    let _ = width;
+}
+
+/// Wallace-tree multiplier: `n`-bit × `n`-bit, `2n` outputs.
+///
+/// Every reduction level greedily applies full adders to triples and a
+/// half adder to one leftover pair per column, until every column holds at
+/// most two bits; a ripple adder finishes the job.
+pub fn wallace_multiplier(n: usize) -> Block {
+    assert!(n >= 1, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let mut columns = partial_products(&mut g, &a, &b);
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<Lit>> = vec![Vec::new(); columns.len()];
+        for (k, col) in columns.iter().enumerate() {
+            let mut it = col.iter().copied();
+            loop {
+                match (it.next(), it.next(), it.next()) {
+                    (Some(x), Some(y), Some(z)) => {
+                        let (s, c) = compress3(&mut g, x, y, z);
+                        next[k].push(s);
+                        if k + 1 < next.len() {
+                            next[k + 1].push(c);
+                        }
+                    }
+                    (Some(x), Some(y), None) => {
+                        let (s, c) = compress2(&mut g, x, y);
+                        next[k].push(s);
+                        if k + 1 < next.len() {
+                            next[k + 1].push(c);
+                        }
+                        break;
+                    }
+                    (Some(x), None, _) => {
+                        next[k].push(x);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        columns = next;
+    }
+    final_ripple(&mut g, columns);
+    Block { aig: g, name: format!("wal{n}") }
+}
+
+/// Dadda-sequence heights: 2, 3, 4, 6, 9, 13, … (each ⌊3/2⌋× the last).
+fn dadda_heights(max: usize) -> Vec<usize> {
+    let mut hs = vec![2usize];
+    while *hs.last().expect("non-empty") < max {
+        let last = *hs.last().expect("non-empty");
+        hs.push(last * 3 / 2);
+    }
+    hs
+}
+
+/// Dadda multiplier: like Wallace but compresses *just enough* per level
+/// to reach the next height in the Dadda sequence — fewer adders, same
+/// function.
+pub fn dadda_multiplier(n: usize) -> Block {
+    assert!(n >= 1, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let mut columns = partial_products(&mut g, &a, &b);
+    let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    let mut targets = dadda_heights(max_height.max(2));
+    while let Some(&target) = targets.last() {
+        targets.pop();
+        // Reduce columns left-to-right until every column fits `target`,
+        // counting carries that arrive from the previous column.
+        let width = columns.len();
+        for k in 0..width {
+            while columns[k].len() > target {
+                if columns[k].len() >= target + 2 {
+                    // Full adder removes two bits from this column.
+                    let x = columns[k].remove(0);
+                    let y = columns[k].remove(0);
+                    let z = columns[k].remove(0);
+                    let (s, c) = compress3(&mut g, x, y, z);
+                    columns[k].push(s);
+                    if k + 1 < width {
+                        columns[k + 1].push(c);
+                    }
+                } else {
+                    // Half adder removes one bit.
+                    let x = columns[k].remove(0);
+                    let y = columns[k].remove(0);
+                    let (s, c) = compress2(&mut g, x, y);
+                    columns[k].push(s);
+                    if k + 1 < width {
+                        columns[k + 1].push(c);
+                    }
+                }
+            }
+        }
+    }
+    final_ripple(&mut g, columns);
+    Block { aig: g, name: format!("dad{n}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::array_multiplier;
+    use aig::check::exhaustive_equiv;
+
+    fn num(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    fn check_multiplies(blk: &Block, n: usize) {
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let mut ins = Vec::new();
+                for i in 0..n {
+                    ins.push(av >> i & 1 != 0);
+                }
+                for i in 0..n {
+                    ins.push(bv >> i & 1 != 0);
+                }
+                assert_eq!(num(&blk.aig.eval(&ins)), av * bv, "{} a={av} b={bv}", blk.name);
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_multiplies() {
+        for n in [1usize, 2, 3, 4, 5] {
+            check_multiplies(&wallace_multiplier(n), n);
+        }
+    }
+
+    #[test]
+    fn dadda_multiplies() {
+        for n in [1usize, 2, 3, 4, 5] {
+            check_multiplies(&dadda_multiplier(n), n);
+        }
+    }
+
+    #[test]
+    fn tree_multipliers_match_array_multiplier() {
+        for n in [3usize, 4] {
+            let w = wallace_multiplier(n);
+            let d = dadda_multiplier(n);
+            let a = array_multiplier(n);
+            assert!(exhaustive_equiv(&w.aig, &a.aig), "wal vs mul n={n}");
+            assert!(exhaustive_equiv(&d.aig, &a.aig), "dad vs mul n={n}");
+            assert!(exhaustive_equiv(&w.aig, &d.aig), "wal vs dad n={n}");
+        }
+    }
+
+    #[test]
+    fn dadda_uses_no_more_gates_than_wallace() {
+        for n in [4usize, 6, 8] {
+            let w = wallace_multiplier(n);
+            let d = dadda_multiplier(n);
+            assert!(
+                d.aig.num_ands() <= w.aig.num_ands(),
+                "n={n}: dadda {} vs wallace {}",
+                d.aig.num_ands(),
+                w.aig.num_ands()
+            );
+        }
+    }
+
+    #[test]
+    fn dadda_height_sequence() {
+        assert_eq!(dadda_heights(13), vec![2, 3, 4, 6, 9, 13]);
+        assert_eq!(dadda_heights(2), vec![2]);
+        assert_eq!(dadda_heights(5), vec![2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array_multiplier() {
+        let w = wallace_multiplier(8);
+        let a = array_multiplier(8);
+        assert!(
+            w.aig.depth() < a.aig.depth(),
+            "tree depth {} must beat array depth {}",
+            w.aig.depth(),
+            a.aig.depth()
+        );
+    }
+}

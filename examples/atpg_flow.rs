@@ -1,0 +1,63 @@
+//! ATPG flow: generate test patterns for stuck-at faults in an ALU by
+//! solving fault miters, and report per-fault branching counts.
+//!
+//! ```text
+//! cargo run --release --example atpg_flow
+//! ```
+
+use csat_preproc::{BaselinePipeline, FrameworkPipeline, Pipeline};
+use rl::RecipePolicy;
+use sat::{solve_cnf, Budget, SolverConfig};
+use synth::Recipe;
+use workloads::atpg::{atpg_miter, StuckAtFault};
+use workloads::datapath::alu;
+
+fn main() {
+    let blk = alu(8);
+    println!("circuit: {} — {} gates, {} PIs", blk.name, blk.aig.num_ands(), blk.aig.num_pis());
+
+    let ours = FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()));
+    let mut patterns = 0usize;
+    let mut untestable = 0usize;
+    let (mut base_decisions, mut ours_decisions) = (0u64, 0u64);
+
+    // Walk a sample of fault sites.
+    let sites: Vec<u32> = (1..blk.aig.num_nodes() as u32).step_by(37).collect();
+    for &node in &sites {
+        for value in [false, true] {
+            let fault = StuckAtFault { node, value };
+            let m = atpg_miter(&blk.aig, fault);
+
+            // Baseline run (for the branching comparison).
+            let pre = BaselinePipeline.preprocess(&m);
+            let (res_b, stats_b) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+            base_decisions += stats_b.decisions;
+
+            // Framework run: same verdict, typically fewer branchings.
+            let pre = ours.preprocess(&m);
+            let (res, stats) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+            ours_decisions += stats.decisions;
+            assert_eq!(res.is_sat(), res_b.is_sat(), "pipelines must agree on testability");
+
+            match res {
+                sat::SolveResult::Sat(model) => {
+                    let ins = pre.decoder.decode_inputs(&model);
+                    // The decoded assignment is a genuine test pattern: it
+                    // distinguishes faulty from fault-free behaviour.
+                    assert_eq!(m.eval(&ins), vec![true]);
+                    patterns += 1;
+                }
+                sat::SolveResult::Unsat => untestable += 1,
+                sat::SolveResult::Unknown => unreachable!("unbudgeted"),
+            }
+        }
+    }
+
+    println!(
+        "{} faults: {} test patterns generated, {} untestable (redundant) sites",
+        2 * sites.len(),
+        patterns,
+        untestable
+    );
+    println!("total branching decisions — baseline: {base_decisions}, framework: {ours_decisions}");
+}
