@@ -70,7 +70,10 @@ impl Aig {
     /// # Panics
     /// Panics if `lit` refers to a node outside the graph.
     pub fn add_po(&mut self, lit: Lit) -> usize {
-        assert!((lit.var() as usize) < self.nodes.len(), "PO literal out of range");
+        assert!(
+            (lit.var() as usize) < self.nodes.len(),
+            "PO literal out of range"
+        );
         self.pos.push(lit);
         self.pos.len() - 1
     }
@@ -80,7 +83,10 @@ impl Aig {
     /// # Panics
     /// Panics if `idx` or the literal is out of range.
     pub fn set_po(&mut self, idx: usize, lit: Lit) {
-        assert!((lit.var() as usize) < self.nodes.len(), "PO literal out of range");
+        assert!(
+            (lit.var() as usize) < self.nodes.len(),
+            "PO literal out of range"
+        );
         self.pos[idx] = lit;
     }
 
@@ -147,12 +153,7 @@ impl Aig {
         self.reduce_tree(lits, Lit::FALSE, Aig::xor)
     }
 
-    fn reduce_tree(
-        &mut self,
-        lits: &[Lit],
-        empty: Lit,
-        op: fn(&mut Aig, Lit, Lit) -> Lit,
-    ) -> Lit {
+    fn reduce_tree(&mut self, lits: &[Lit], empty: Lit, op: fn(&mut Aig, Lit, Lit) -> Lit) -> Lit {
         match lits {
             [] => empty,
             [l] => *l,
@@ -161,7 +162,11 @@ impl Aig {
                 while layer.len() > 1 {
                     let mut next = Vec::with_capacity(layer.len().div_ceil(2));
                     for pair in layer.chunks(2) {
-                        next.push(if pair.len() == 2 { op(self, pair[0], pair[1]) } else { pair[0] });
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
                     }
                     layer = next;
                 }
@@ -185,7 +190,9 @@ impl Aig {
             return Some(a);
         }
         let (f0, f1) = if a <= b { (a, b) } else { (b, a) };
-        self.strash.get(&(f0.raw(), f1.raw())).map(|&v| Lit::from_var(v, false))
+        self.strash
+            .get(&(f0.raw(), f1.raw()))
+            .map(|&v| Lit::from_var(v, false))
     }
 
     /// Total number of nodes (constant + PIs + ANDs).
@@ -271,7 +278,11 @@ impl Aig {
     /// Depth of the graph: the maximum level over PO drivers (0 if no POs).
     pub fn depth(&self) -> u32 {
         let lv = self.levels();
-        self.pos.iter().map(|l| lv[l.var() as usize]).max().unwrap_or(0)
+        self.pos
+            .iter()
+            .map(|l| lv[l.var() as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of fanouts of every node, counting each PO as one fanout.
@@ -341,8 +352,10 @@ impl Aig {
             let n = &self.nodes[v as usize];
             let f0 = map[n.fanin0.var() as usize].expect("fanin of reachable node reachable");
             let f1 = map[n.fanin1.var() as usize].expect("fanin of reachable node reachable");
-            map[v as usize] =
-                Some(new.and(f0.xor_compl(n.fanin0.is_compl()), f1.xor_compl(n.fanin1.is_compl())));
+            map[v as usize] = Some(new.and(
+                f0.xor_compl(n.fanin0.is_compl()),
+                f1.xor_compl(n.fanin1.is_compl()),
+            ));
         }
         for &po in &self.pos {
             let l = map[po.var() as usize].expect("PO driver reachable");
@@ -376,7 +389,10 @@ impl Aig {
             let b = val[n.fanin1.var() as usize] ^ n.fanin1.is_compl();
             val[v as usize] = a & b;
         }
-        self.pos.iter().map(|l| val[l.var() as usize] ^ l.is_compl()).collect()
+        self.pos
+            .iter()
+            .map(|l| val[l.var() as usize] ^ l.is_compl())
+            .collect()
     }
 
     /// Value of a single literal under a full node-value vector
@@ -426,7 +442,11 @@ impl GateList {
 
     /// A structure computing constant false.
     pub fn constant(value: bool) -> GateList {
-        GateList { n_leaves: 0, gates: Vec::new(), root: if value { Self::TRUE } else { Self::FALSE } }
+        GateList {
+            n_leaves: 0,
+            gates: Vec::new(),
+            root: if value { Self::TRUE } else { Self::FALSE },
+        }
     }
 
     /// Number of AND gates in the structure.

@@ -91,8 +91,11 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
     let mut pi_vars = Vec::with_capacity(i as usize);
     for _ in 0..i {
         let line = next_line()?;
-        let lit: u32 = line.trim().parse().map_err(|_| malformed("bad input literal"))?;
-        if lit % 2 != 0 || lit == 0 {
+        let lit: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| malformed("bad input literal"))?;
+        if !lit.is_multiple_of(2) || lit == 0 {
             return Err(malformed("input literal must be positive and even"));
         }
         pi_vars.push(lit / 2);
@@ -107,7 +110,10 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
     let mut po_lits = Vec::with_capacity(o as usize);
     for _ in 0..o {
         let line = next_line()?;
-        let lit: u32 = line.trim().parse().map_err(|_| malformed("bad output literal"))?;
+        let lit: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| malformed("bad output literal"))?;
         po_lits.push(lit);
     }
 
@@ -118,7 +124,10 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
         let line = next_line()?;
         let mut it = line.split_whitespace();
         let mut field = || -> Result<u32, ParseAigerError> {
-            it.next().ok_or_else(|| malformed("and line too short"))?.parse().map_err(|_| malformed("bad and literal"))
+            it.next()
+                .ok_or_else(|| malformed("and line too short"))?
+                .parse()
+                .map_err(|_| malformed("bad and literal"))
         };
         let (lhs, rhs0, rhs1) = (field()?, field()?, field()?);
         if lhs % 2 != 0 || lhs == 0 {
@@ -242,7 +251,11 @@ pub fn read_aig_binary<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError
     for _ in 0..o {
         let mut line = String::new();
         reader.read_line(&mut line)?;
-        po_lits.push(line.trim().parse::<u32>().map_err(|_| malformed("bad output literal"))?);
+        po_lits.push(
+            line.trim()
+                .parse::<u32>()
+                .map_err(|_| malformed("bad output literal"))?,
+        );
     }
     let mut g = Aig::with_capacity(m as usize + 1);
     let mut map: Vec<Lit> = Vec::with_capacity(m as usize + 1);
@@ -254,8 +267,12 @@ pub fn read_aig_binary<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError
         let lhs = 2 * (i + k + 1);
         let d0 = read_delta(&mut reader)?;
         let d1 = read_delta(&mut reader)?;
-        let r0 = lhs.checked_sub(d0).ok_or_else(|| malformed("delta underflow"))?;
-        let r1 = r0.checked_sub(d1).ok_or_else(|| malformed("delta underflow"))?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| malformed("delta underflow"))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| malformed("delta underflow"))?;
         let decode = |raw: u32, map: &[Lit]| -> Result<Lit, ParseAigerError> {
             let var = (raw / 2) as usize;
             if var >= map.len() {
@@ -383,14 +400,20 @@ mod tests {
     #[test]
     fn rejects_latches() {
         let text = "aag 1 0 1 0 0\n2 3\n";
-        assert!(matches!(from_aag_str(text), Err(ParseAigerError::Sequential)));
+        assert!(matches!(
+            from_aag_str(text),
+            Err(ParseAigerError::Sequential)
+        ));
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(from_aag_str("not an aiger file").is_err());
         assert!(from_aag_str("aag 1 1").is_err());
-        assert!(from_aag_str("aag 1 1 0 0 0\n3\n").is_err(), "odd input literal");
+        assert!(
+            from_aag_str("aag 1 1 0 0 0\n3\n").is_err(),
+            "odd input literal"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl Cut {
     pub fn trivial(node: Var) -> Cut {
         let mut leaves = [0; MAX_CUT_SIZE];
         leaves[0] = node;
-        Cut { leaves, len: 1, sig: 1u64 << (node % 64) }
+        Cut {
+            leaves,
+            len: 1,
+            sig: 1u64 << (node % 64),
+        }
     }
 
     /// Builds a cut from a sorted, deduplicated slice of leaves.
@@ -40,11 +44,18 @@ impl Cut {
     /// sorted.
     pub fn from_sorted(leaves_in: &[Var]) -> Cut {
         assert!(leaves_in.len() <= MAX_CUT_SIZE, "cut too large");
-        assert!(leaves_in.windows(2).all(|w| w[0] < w[1]), "leaves must be strictly sorted");
+        assert!(
+            leaves_in.windows(2).all(|w| w[0] < w[1]),
+            "leaves must be strictly sorted"
+        );
         let mut leaves = [0; MAX_CUT_SIZE];
         leaves[..leaves_in.len()].copy_from_slice(leaves_in);
         let sig = leaves_in.iter().fold(0u64, |s, &l| s | 1u64 << (l % 64));
-        Cut { leaves, len: leaves_in.len() as u8, sig }
+        Cut {
+            leaves,
+            len: leaves_in.len() as u8,
+            sig,
+        }
     }
 
     /// The leaves of the cut, sorted ascending.
@@ -104,7 +115,11 @@ impl Cut {
             out[n] = v;
             n += 1;
         }
-        Some(Cut { leaves: out, len: n as u8, sig: self.sig | other.sig })
+        Some(Cut {
+            leaves: out,
+            len: n as u8,
+            sig: self.sig | other.sig,
+        })
     }
 }
 

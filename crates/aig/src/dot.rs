@@ -47,7 +47,11 @@ pub fn to_dot(aig: &Aig) -> String {
         let _ = writeln!(out, "  n{v} [label=\"∧\", shape=circle];");
         let n = aig.node(v);
         for fanin in [n.fanin0(), n.fanin1()] {
-            let style = if fanin.is_compl() { " [style=dashed]" } else { "" };
+            let style = if fanin.is_compl() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  n{} -> n{v}{style};", fanin.var());
         }
     }

@@ -104,7 +104,12 @@ impl fmt::Debug for Lit {
         if *self == Lit::NONE {
             return write!(f, "Lit(NONE)");
         }
-        write!(f, "{}{}", if self.is_compl() { "!" } else { "" }, self.var())
+        write!(
+            f,
+            "{}{}",
+            if self.is_compl() { "!" } else { "" },
+            self.var()
+        )
     }
 }
 

@@ -22,7 +22,9 @@ pub struct Mffc {
 impl Mffc {
     /// Prepares reference counts (fanout counts, POs included) for `aig`.
     pub fn new(aig: &Aig) -> Mffc {
-        Mffc { refs: aig.fanout_counts() }
+        Mffc {
+            refs: aig.fanout_counts(),
+        }
     }
 
     /// Current reference count of a node.

@@ -17,13 +17,22 @@ pub struct Node {
 }
 
 impl Node {
-    pub(crate) const CONST: Node = Node { fanin0: Lit::NONE, fanin1: Lit::FALSE };
-    pub(crate) const PI: Node = Node { fanin0: Lit::NONE, fanin1: Lit::TRUE };
+    pub(crate) const CONST: Node = Node {
+        fanin0: Lit::NONE,
+        fanin1: Lit::FALSE,
+    };
+    pub(crate) const PI: Node = Node {
+        fanin0: Lit::NONE,
+        fanin1: Lit::TRUE,
+    };
 
     #[inline]
     pub(crate) fn and(f0: Lit, f1: Lit) -> Node {
         debug_assert!(f0 <= f1);
-        Node { fanin0: f0, fanin1: f1 }
+        Node {
+            fanin0: f0,
+            fanin1: f1,
+        }
     }
 
     /// True if this node is an AND gate.
@@ -96,7 +105,10 @@ mod tests {
         assert!(c.is_const() && !c.is_pi() && !c.is_and());
         assert!(p.is_pi() && !p.is_const() && !p.is_and());
         assert!(a.is_and() && !a.is_pi() && !a.is_const());
-        assert_eq!(a.fanins(), [Lit::from_var(1, false), Lit::from_var(2, true)]);
+        assert_eq!(
+            a.fanins(),
+            [Lit::from_var(1, false), Lit::from_var(2, true)]
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct NpnTransform {
 
 impl NpnTransform {
     /// The identity transform.
-    pub const IDENTITY: NpnTransform = NpnTransform { perm: [0, 1, 2, 3], flips: 0, out: false };
+    pub const IDENTITY: NpnTransform = NpnTransform {
+        perm: [0, 1, 2, 3],
+        flips: 0,
+        out: false,
+    };
 
     /// Applies the transform to a truth table.
     pub fn apply(&self, f: u16) -> u16 {
@@ -160,7 +164,11 @@ pub fn npn_canon(f: u16) -> (u16, NpnTransform) {
                 let g = apply_with_map(f, map, out);
                 if g < best {
                     best = g;
-                    best_t = NpnTransform { perm: *perm, flips: fl, out };
+                    best_t = NpnTransform {
+                        perm: *perm,
+                        flips: fl,
+                        out,
+                    };
                 }
             }
         }
@@ -170,8 +178,7 @@ pub fn npn_canon(f: u16) -> (u16, NpnTransform) {
 
 /// Memoised variant of [`npn_canon`]; the cache is global and thread-safe.
 pub fn npn_canon_cached(f: u16) -> (u16, NpnTransform) {
-    static CACHE: OnceLock<Mutex<crate::hash::FastMap<u16, (u16, NpnTransform)>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<Mutex<crate::hash::FastMap<u16, (u16, NpnTransform)>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(crate::hash::FastMap::default()));
     {
         let guard = cache.lock().unwrap();
@@ -232,7 +239,7 @@ mod tests {
     }
 
     fn rand_perm(rng: &mut impl Rng) -> &'static [u8; 4] {
-        &permutations4()[rng.gen_range(0..24)]
+        &permutations4()[rng.gen_range(0..24usize)]
     }
 
     #[test]
@@ -266,8 +273,12 @@ mod tests {
             // Represent leaf literals as plain booleans with optional
             // complement: leaf i has value v[i]; Lit complement = XOR.
             let vals: [bool; 4] = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
-            let leaves =
-                [Lit::from_var(10, false), Lit::from_var(11, false), Lit::from_var(12, false), Lit::from_var(13, false)];
+            let leaves = [
+                Lit::from_var(10, false),
+                Lit::from_var(11, false),
+                Lit::from_var(12, false),
+                Lit::from_var(13, false),
+            ];
             let (w, out) = t.instantiate(&leaves);
             // Evaluate F(vals).
             let mf = (0..4).fold(0u16, |acc, i| acc | (vals[i] as u16) << i);

@@ -42,7 +42,11 @@ impl SeqAig {
             comb.num_pos() >= num_latches,
             "core POs must end with {num_latches} latch next-state functions"
         );
-        SeqAig { comb, num_pis, num_latches }
+        SeqAig {
+            comb,
+            num_pis,
+            num_latches,
+        }
     }
 
     /// The combinational core.
@@ -98,15 +102,17 @@ impl SeqAig {
         assert!(k > 0, "need at least one frame");
         let mut out = Aig::with_capacity(k * self.comb.num_nodes());
         // Frame-major real PIs.
-        let frame_pis: Vec<Vec<Lit>> =
-            (0..k).map(|_| out.add_pis(self.num_pis)).collect();
+        let frame_pis: Vec<Vec<Lit>> = (0..k).map(|_| out.add_pis(self.num_pis)).collect();
         let mut state: Vec<Lit> = vec![Lit::FALSE; self.num_latches];
         let mut outputs = Vec::with_capacity(k * self.num_pos());
         for pis in frame_pis.iter() {
             let mut map: Vec<Lit> = vec![Lit::FALSE; self.comb.num_nodes()];
             for (i, &pi_var) in self.comb.pis().iter().enumerate() {
-                map[pi_var as usize] =
-                    if i < self.num_pis { pis[i] } else { state[i - self.num_pis] };
+                map[pi_var as usize] = if i < self.num_pis {
+                    pis[i]
+                } else {
+                    state[i - self.num_pis]
+                };
             }
             for v in self.comb.iter_ands() {
                 let n = self.comb.node(v);
@@ -114,8 +120,7 @@ impl SeqAig {
                 let b = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
                 map[v as usize] = out.and(a, b);
             }
-            let resolve =
-                |map: &[Lit], l: Lit| map[l.var() as usize].xor_compl(l.is_compl());
+            let resolve = |map: &[Lit], l: Lit| map[l.var() as usize].xor_compl(l.is_compl());
             for po in &self.comb.pos()[..self.num_pos()] {
                 outputs.push(resolve(&map, *po));
             }
@@ -137,7 +142,10 @@ impl SeqAig {
     /// # Panics
     /// Panics if `k == 0` or the machine has no real POs.
     pub fn bmc_instance(&self, k: usize) -> Aig {
-        assert!(self.num_pos() > 0, "property check needs at least one real PO");
+        assert!(
+            self.num_pos() > 0,
+            "property check needs at least one real PO"
+        );
         let unrolled = self.unroll(k);
         let mut out = unrolled.clone();
         let pos: Vec<Lit> = out.pos().to_vec();
@@ -191,8 +199,12 @@ mod tests {
         let steps: Vec<Vec<bool>> = (0..9).map(|_| vec![true]).collect();
         let outs = m.simulate(&steps);
         // All-ones (7) is visible at step 7 (state before the 8th tick).
-        let fired: Vec<usize> =
-            outs.iter().enumerate().filter(|(_, o)| o[0]).map(|(i, _)| i).collect();
+        let fired: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o[0])
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(fired, vec![7], "3-bit counter saturates after 7 increments");
     }
 

@@ -16,7 +16,11 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 /// Panics if `pi_words.len() != aig.num_pis()`.
 pub fn simulate_words(aig: &Aig, pi_words: &[u64]) -> Vec<u64> {
-    assert_eq!(pi_words.len(), aig.num_pis(), "one simulation word per PI required");
+    assert_eq!(
+        pi_words.len(),
+        aig.num_pis(),
+        "one simulation word per PI required"
+    );
     let mut val = vec![0u64; aig.num_nodes()];
     for (i, &pi) in aig.pis().iter().enumerate() {
         val[pi as usize] = pi_words[i];
@@ -99,7 +103,10 @@ pub fn output_tts(aig: &Aig) -> Vec<Tt> {
             po_words[o][w] = if po.is_compl() { !x } else { x };
         }
     }
-    po_words.into_iter().map(|ws| Tt::from_words(n, ws)).collect()
+    po_words
+        .into_iter()
+        .map(|ws| Tt::from_words(n, ws))
+        .collect()
 }
 
 #[cfg(test)]

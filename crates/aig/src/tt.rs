@@ -66,7 +66,10 @@ impl Tt {
     /// Panics if `nvars > Tt::MAX_VARS`.
     pub fn zero(nvars: usize) -> Tt {
         assert!(nvars <= Self::MAX_VARS, "too many truth-table variables");
-        Tt { nvars, words: vec![0; n_words(nvars)] }
+        Tt {
+            nvars,
+            words: vec![0; n_words(nvars)],
+        }
     }
 
     /// The constant-true table over `nvars` variables.
@@ -115,7 +118,10 @@ impl Tt {
 
     /// Builds a 4-variable table from its 16-bit encoding.
     pub fn from_u16(bits: u16) -> Tt {
-        Tt { nvars: 4, words: vec![bits as u64] }
+        Tt {
+            nvars: 4,
+            words: vec![bits as u64],
+        }
     }
 
     /// The 16-bit encoding of a 4-variable table.
@@ -130,7 +136,10 @@ impl Tt {
     /// Builds a table over at most six variables from a single word.
     pub fn from_u64(nvars: usize, bits: u64) -> Tt {
         assert!(nvars <= 6, "from_u64 supports at most 6 variables");
-        let mut t = Tt { nvars, words: vec![bits] };
+        let mut t = Tt {
+            nvars,
+            words: vec![bits],
+        };
         t.mask_excess();
         t
     }
@@ -416,7 +425,10 @@ impl Not for Tt {
 impl Not for &Tt {
     type Output = Tt;
     fn not(self) -> Tt {
-        let mut t = Tt { nvars: self.nvars, words: self.words.iter().map(|w| !w).collect() };
+        let mut t = Tt {
+            nvars: self.nvars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
         t.mask_excess();
         t
     }
@@ -470,7 +482,9 @@ impl Cube {
 
     /// Iterates over `(var, positive)` pairs of the cube's literals.
     pub fn lits(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
-        (0..32usize).filter(|i| self.mask >> i & 1 != 0).map(|i| (i, self.vals >> i & 1 != 0))
+        (0..32usize)
+            .filter(|i| self.mask >> i & 1 != 0)
+            .map(|i| (i, self.vals >> i & 1 != 0))
     }
 
     /// Evaluates the cube on a minterm.

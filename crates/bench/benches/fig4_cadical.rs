@@ -22,7 +22,9 @@ fn bench_fig4(c: &mut Criterion) {
         ("comp", Box::new(CompPipeline::default())),
         (
             "ours",
-            Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()))),
+            Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
+                Recipe::size_script(),
+            ))),
         ),
     ];
 

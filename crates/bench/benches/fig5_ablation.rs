@@ -20,7 +20,10 @@ fn bench_fig5(c: &mut Criterion) {
     let arms: Vec<(&str, FrameworkPipeline)> = vec![
         ("ours", FrameworkPipeline::ours(policy.clone())),
         ("without_rl", FrameworkPipeline::without_rl(7, 10)),
-        ("conventional_mapper", FrameworkPipeline::conventional_mapper(policy)),
+        (
+            "conventional_mapper",
+            FrameworkPipeline::conventional_mapper(policy),
+        ),
     ];
 
     let mut group = c.benchmark_group("fig5_ablation");

@@ -21,7 +21,10 @@ fn bench_lut_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("lut_k_sweep");
     group.sample_size(10);
     for k in [3usize, 4, 5, 6] {
-        let params = MapParams { k, ..MapParams::default() };
+        let params = MapParams {
+            k,
+            ..MapParams::default()
+        };
         group.bench_function(format!("k{k}"), |b| {
             b.iter(|| {
                 let mut decisions = 0u64;

@@ -33,8 +33,14 @@ fn bench_cost_models(c: &mut Criterion) {
     // Downstream effect: solve time of the two encodings.
     let solver = SolverConfig::kissat_like();
     for (name, net) in [
-        ("solve_after_area", map_luts(&inst, &MapParams::default(), &AreaCost)),
-        ("solve_after_branching", map_luts(&inst, &MapParams::default(), &BranchingCost::new())),
+        (
+            "solve_after_area",
+            map_luts(&inst, &MapParams::default(), &AreaCost),
+        ),
+        (
+            "solve_after_branching",
+            map_luts(&inst, &MapParams::default(), &BranchingCost::new()),
+        ),
     ] {
         let (cnf, _) = cnf::lut_to_cnf_sat_instance(&net);
         group.bench_function(name, |b| {
@@ -50,7 +56,16 @@ fn bench_k_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapper_k_sweep");
     group.sample_size(10);
     for k in [3usize, 4, 5, 6] {
-        let net = map_luts(&m, &MapParams { k, max_cuts: 8, rounds: 2, ..MapParams::default() }, &BranchingCost::new());
+        let net = map_luts(
+            &m,
+            &MapParams {
+                k,
+                max_cuts: 8,
+                rounds: 2,
+                ..MapParams::default()
+            },
+            &BranchingCost::new(),
+        );
         let (cnf, _) = cnf::lut_to_cnf_sat_instance(&net);
         group.bench_with_input(BenchmarkId::new("solve_k", k), &cnf, |b, cnf| {
             b.iter(|| solve_cnf(cnf, solver.clone(), Budget::conflicts(100_000)))

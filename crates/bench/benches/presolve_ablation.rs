@@ -21,7 +21,12 @@ fn bench_presolve(c: &mut Criterion) {
 
     let pipelines: Vec<(&str, Box<dyn Pipeline>)> = vec![
         ("baseline", Box::new(BaselinePipeline)),
-        ("ours", Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script())))),
+        (
+            "ours",
+            Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
+                Recipe::size_script(),
+            ))),
+        ),
     ];
 
     let mut group = c.benchmark_group("presolve_ablation");

@@ -16,9 +16,15 @@ fn bench_sweep(c: &mut Criterion) {
     let instances = test_split(&scale);
     // Keep only UNSAT-expected (equivalence) instances: the sweeping
     // success case. SAT instances pass through mostly unchanged.
-    let slice: Vec<_> =
-        instances.into_iter().filter(|i| i.expected == Some(false)).take(3).collect();
-    assert!(!slice.is_empty(), "test split must contain equivalence miters");
+    let slice: Vec<_> = instances
+        .into_iter()
+        .filter(|i| i.expected == Some(false))
+        .take(3)
+        .collect();
+    assert!(
+        !slice.is_empty(),
+        "test split must contain equivalence miters"
+    );
     let solver = solver_preset("kissat");
     let budget = Budget::conflicts(scale.budget_conflicts);
 

@@ -16,13 +16,29 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| generate(&DatasetParams::training(8), 0xAB1E))
     });
 
-    let set = generate(&DatasetParams { count: 1, min_bits: 8, max_bits: 8, hard_multipliers: false }, 1);
+    let set = generate(
+        &DatasetParams {
+            count: 1,
+            min_bits: 8,
+            max_bits: 8,
+            hard_multipliers: false,
+        },
+        1,
+    );
     let inst = &set[0];
-    group.bench_function("tseitin_encode", |b| b.iter(|| BaselinePipeline.preprocess(&inst.aig)));
+    group.bench_function("tseitin_encode", |b| {
+        b.iter(|| BaselinePipeline.preprocess(&inst.aig))
+    });
 
     let pre = BaselinePipeline.preprocess(&inst.aig);
     group.bench_function("baseline_solve", |b| {
-        b.iter(|| solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::conflicts(30_000)))
+        b.iter(|| {
+            solve_cnf(
+                &pre.cnf,
+                SolverConfig::kissat_like(),
+                Budget::conflicts(30_000),
+            )
+        })
     });
 
     group.bench_function("full_table_quick", |b| {

@@ -5,9 +5,7 @@
 //! CSAT_SCALE=standard cargo run --release -p bench --bin run_all
 //! ```
 
-use bench::experiments::{
-    fig4, fig5, render_arms, render_table1, table1, trained_agent, Scale,
-};
+use bench::experiments::{fig4, fig5, render_arms, render_table1, table1, trained_agent, Scale};
 
 fn main() {
     let scale = Scale::from_env(Scale::standard());

@@ -9,7 +9,10 @@ use bench::experiments::{fig5, records_to_csv, render_arms, trained_agent, Scale
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let csv_path = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1).cloned());
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
     let scale = Scale::from_env(Scale::standard());
 
     println!(

@@ -139,8 +139,7 @@ pub fn solver_preset(name: &str) -> SolverConfig {
 
 /// Trains the RL agent on the training split (the paper's Sec. III-B run).
 pub fn trained_agent(scale: &Scale) -> DqnAgent {
-    let instances: Vec<aig::Aig> =
-        train_split(scale).into_iter().map(|i| i.aig).collect();
+    let instances: Vec<aig::Aig> = train_split(scale).into_iter().map(|i| i.aig).collect();
     let cfg = TrainConfig {
         episodes: scale.episodes,
         env: EnvConfig {
@@ -191,11 +190,26 @@ pub fn table1(scale: &Scale) -> Vec<Table1Row> {
         times.push(t0.elapsed().as_secs_f64());
     }
     vec![
-        Table1Row { metric: "# Gates", summary: summarize(&gates) },
-        Table1Row { metric: "# PIs", summary: summarize(&pis) },
-        Table1Row { metric: "Depth", summary: summarize(&depth) },
-        Table1Row { metric: "# Clauses", summary: summarize(&clauses) },
-        Table1Row { metric: "Time (s)", summary: summarize(&times) },
+        Table1Row {
+            metric: "# Gates",
+            summary: summarize(&gates),
+        },
+        Table1Row {
+            metric: "# PIs",
+            summary: summarize(&pis),
+        },
+        Table1Row {
+            metric: "Depth",
+            summary: summarize(&depth),
+        },
+        Table1Row {
+            metric: "# Clauses",
+            summary: summarize(&clauses),
+        },
+        Table1Row {
+            metric: "Time (s)",
+            summary: summarize(&times),
+        },
     ]
 }
 
@@ -393,7 +407,11 @@ mod tests {
         assert_eq!(arms[2].name, "Ours");
         // Everything within budget on the quick scale.
         for a in &arms {
-            assert!(a.solved() >= a.records.len() - 2, "{} timed out too much", a.name);
+            assert!(
+                a.solved() >= a.records.len() - 2,
+                "{} timed out too much",
+                a.name
+            );
         }
         let csv = records_to_csv(&arms);
         assert!(csv.lines().count() > arms.len());

@@ -57,7 +57,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
         if let Some(rest) = line.strip_prefix('p') {
             let mut it = rest.split_whitespace();
             if it.next() != Some("cnf") {
-                return Err(ParseDimacsError::Malformed("expected 'p cnf' header".into()));
+                return Err(ParseDimacsError::Malformed(
+                    "expected 'p cnf' header".into(),
+                ));
             }
             let v: u32 = it
                 .next()
@@ -83,7 +85,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
         }
     }
     if !current.is_empty() {
-        return Err(ParseDimacsError::Malformed("last clause not terminated by 0".into()));
+        return Err(ParseDimacsError::Malformed(
+            "last clause not terminated by 0".into(),
+        ));
     }
     if let Some((v, _)) = declared {
         if cnf.num_vars() > v {
@@ -159,6 +163,9 @@ mod tests {
         assert!(from_dimacs_str("p cnf x y\n").is_err());
         assert!(from_dimacs_str("1 2 3\n").is_err(), "unterminated clause");
         assert!(from_dimacs_str("p dnf 1 1\n1 0\n").is_err());
-        assert!(from_dimacs_str("p cnf 1 1\n2 0\n").is_err(), "var beyond declared");
+        assert!(
+            from_dimacs_str("p cnf 1 1\n2 0\n").is_err(),
+            "var beyond declared"
+        );
     }
 }

@@ -39,7 +39,10 @@ impl VarMap {
     /// Extracts the PI assignment from a SAT model
     /// (`model[v-1]` = value of CNF variable `v`).
     pub fn decode_inputs(&self, model: &[bool]) -> Vec<bool> {
-        self.pi_vars.iter().map(|&v| model[(v - 1) as usize]).collect()
+        self.pi_vars
+            .iter()
+            .map(|&v| model[(v - 1) as usize])
+            .collect()
     }
 }
 
@@ -117,7 +120,7 @@ pub fn tseitin_sat_instance(aig: &Aig) -> (Cnf, VarMap) {
             }
         })
         .collect();
-    if aig.pos().iter().any(|&po| po == Lit::TRUE) {
+    if aig.pos().contains(&Lit::TRUE) {
         // The instance is trivially SAT; emit no assertion.
         return (cnf, map);
     }

@@ -170,9 +170,13 @@ impl Cnf {
     /// # Panics
     /// Panics if the assignment is shorter than `num_vars`.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        assert!(assignment.len() >= self.num_vars as usize, "assignment too short");
+        assert!(
+            assignment.len() >= self.num_vars as usize,
+            "assignment too short"
+        );
         self.clauses.iter().all(|c| {
-            c.iter().any(|l| assignment[(l.var() - 1) as usize] == l.is_positive())
+            c.iter()
+                .any(|l| assignment[(l.var() - 1) as usize] == l.is_positive())
         })
     }
 }

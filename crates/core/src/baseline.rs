@@ -44,6 +44,10 @@ mod tests {
         let model = res.model().expect("xor is satisfiable");
         let model: Vec<bool> = model.to_vec();
         let ins = out.decoder.decode_inputs(&model);
-        assert_eq!(g.eval(&ins), vec![true], "decoded inputs must satisfy the PO");
+        assert_eq!(
+            g.eval(&ins),
+            vec![true],
+            "decoded inputs must satisfy the PO"
+        );
     }
 }

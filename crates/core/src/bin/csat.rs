@@ -18,21 +18,27 @@ use std::io::BufReader;
 use std::process::ExitCode;
 use synth::Recipe;
 
+const USAGE: &str = "usage: csat <solve|encode|stats> <instance.aag|instance.aig> [options]
+  --pipeline baseline|comp|ours   (default ours)
+  --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)
+  --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)
+  --presolve                       run CNF presolve (BVE+subsumption) before solving
+  --solver   kissat|cadical        (default kissat)
+  --conflicts N                    conflict budget (default unlimited)
+  -o FILE                          output path for 'encode'";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match run(&args) {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: csat <solve|encode|stats> <instance.aag|instance.aig> [options]");
-            eprintln!("  --pipeline baseline|comp|ours   (default ours)");
-            eprintln!("  --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)");
-            eprintln!("  --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)");
-            eprintln!("  --presolve                       run CNF presolve (BVE+subsumption) before solving");
-            eprintln!("  --solver   kissat|cadical        (default kissat)");
-            eprintln!("  --conflicts N                    conflict budget (default unlimited)");
-            eprintln!("  -o FILE                          output path for 'encode'");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -109,8 +115,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     let ins = pre.decoder.decode_inputs(&model);
                     // SAT-competition-style output plus the PI witness.
                     println!("s SATISFIABLE");
-                    let bits: Vec<String> =
-                        ins.iter().map(|&b| if b { "1".into() } else { "0".to_string() }).collect();
+                    let bits: Vec<String> = ins
+                        .iter()
+                        .map(|&b| if b { "1".into() } else { "0".to_string() })
+                        .collect();
                     println!("v inputs {}", bits.join(""));
                     // Double-check the witness before reporting success.
                     if instance.eval(&ins).iter().any(|&o| o) {
@@ -164,5 +172,7 @@ fn make_pipeline(args: &[String]) -> Result<Box<dyn Pipeline>, String> {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -27,7 +27,10 @@ pub struct CompPipeline {
 
 impl Default for CompPipeline {
     fn default() -> CompPipeline {
-        CompPipeline { map: MapParams::default(), recipe: Recipe::size_script() }
+        CompPipeline {
+            map: MapParams::default(),
+            recipe: Recipe::size_script(),
+        }
     }
 }
 

@@ -168,9 +168,17 @@ mod tests {
         for arm in &arms {
             let out = arm.preprocess(&sat_inst);
             let (res, _) = solve_cnf(&out.cnf, SolverConfig::default(), Budget::UNLIMITED);
-            let model = res.model().unwrap_or_else(|| panic!("{} lost SAT", arm.name())).to_vec();
+            let model = res
+                .model()
+                .unwrap_or_else(|| panic!("{} lost SAT", arm.name()))
+                .to_vec();
             let ins = out.decoder.decode_inputs(&model);
-            assert_eq!(sat_inst.eval(&ins), vec![true], "{} model invalid", arm.name());
+            assert_eq!(
+                sat_inst.eval(&ins),
+                vec![true],
+                "{} model invalid",
+                arm.name()
+            );
 
             let out = arm.preprocess(&unsat_inst);
             let (res, _) = solve_cnf(&out.cnf, SolverConfig::default(), Budget::UNLIMITED);
@@ -182,8 +190,8 @@ mod tests {
     fn framework_reduces_cnf_size() {
         let inst = unsat_instance();
         let base = crate::baseline::BaselinePipeline.preprocess(&inst);
-        let ours = FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()))
-            .preprocess(&inst);
+        let ours =
+            FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script())).preprocess(&inst);
         assert!(
             ours.cnf.num_vars() < base.cnf.num_vars(),
             "{} vs {}",

@@ -75,7 +75,11 @@ pub fn run_one(
     let (result, stats) = solve_cnf(&pre.cnf, solver.clone(), budget);
     let solve_secs = t0.elapsed().as_secs_f64();
     let status = classify(&instance.aig, &pre, &result, instance.expected);
-    let Stats { decisions, conflicts, .. } = stats;
+    let Stats {
+        decisions,
+        conflicts,
+        ..
+    } = stats;
     RunRecord {
         instance: instance.name.clone(),
         pipeline: pipeline.name(),
@@ -136,8 +140,11 @@ pub fn run_campaign(
 /// is (cumulative seconds, instances solved). This is exactly the paper's
 /// Fig. 4/5 presentation.
 pub fn cactus(records: &[RunRecord]) -> Vec<(f64, usize)> {
-    let mut times: Vec<f64> =
-        records.iter().filter(|r| r.solved()).map(RunRecord::total_secs).collect();
+    let mut times: Vec<f64> = records
+        .iter()
+        .filter(|r| r.solved())
+        .map(RunRecord::total_secs)
+        .collect();
     times.sort_by(f64::total_cmp);
     let mut out = Vec::with_capacity(times.len());
     let mut acc = 0.0;
@@ -153,7 +160,13 @@ pub fn cactus(records: &[RunRecord]) -> Vec<(f64, usize)> {
 pub fn total_runtime(records: &[RunRecord], penalty_secs: f64) -> f64 {
     records
         .iter()
-        .map(|r| if r.solved() { r.total_secs() } else { penalty_secs })
+        .map(|r| {
+            if r.solved() {
+                r.total_secs()
+            } else {
+                penalty_secs
+            }
+        })
         .sum()
 }
 
@@ -178,14 +191,24 @@ pub struct Summary {
 /// Computes a [`Summary`]; returns zeros on an empty sample.
 pub fn summarize(xs: &[f64]) -> Summary {
     if xs.is_empty() {
-        return Summary { avg: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+        return Summary {
+            avg: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let avg = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n;
     let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Summary { avg, std: var.sqrt(), min, max }
+    Summary {
+        avg,
+        std: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +219,15 @@ mod tests {
 
     #[test]
     fn campaign_produces_valid_records() {
-        let set = generate(&DatasetParams { count: 4, min_bits: 4, max_bits: 6, hard_multipliers: false }, 8);
+        let set = generate(
+            &DatasetParams {
+                count: 4,
+                min_bits: 4,
+                max_bits: 6,
+                hard_multipliers: false,
+            },
+            8,
+        );
         let records = run_campaign(
             &BaselinePipeline,
             &set,
@@ -216,7 +247,15 @@ mod tests {
 
     #[test]
     fn cactus_monotone() {
-        let set = generate(&DatasetParams { count: 5, min_bits: 4, max_bits: 6, hard_multipliers: false }, 9);
+        let set = generate(
+            &DatasetParams {
+                count: 5,
+                min_bits: 4,
+                max_bits: 6,
+                hard_multipliers: false,
+            },
+            9,
+        );
         let records = run_campaign(
             &BaselinePipeline,
             &set,

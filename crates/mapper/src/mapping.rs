@@ -34,7 +34,12 @@ pub struct MapParams {
 
 impl Default for MapParams {
     fn default() -> MapParams {
-        MapParams { k: 4, max_cuts: 8, rounds: 2, depth_slack: Some(0) }
+        MapParams {
+            k: 4,
+            max_cuts: 8,
+            rounds: 2,
+            depth_slack: Some(0),
+        }
     }
 }
 
@@ -47,7 +52,13 @@ impl Default for MapParams {
 /// Panics if `params.k` is outside `2..=6`.
 pub fn map_luts(aig: &Aig, params: &MapParams, cost: &dyn CutCost) -> LutNetlist {
     assert!((2..=6).contains(&params.k), "LUT size must be 2..=6");
-    let cuts = enumerate_cuts(aig, &CutParams { k: params.k, max_cuts: params.max_cuts });
+    let cuts = enumerate_cuts(
+        aig,
+        &CutParams {
+            k: params.k,
+            max_cuts: params.max_cuts,
+        },
+    );
 
     // Pre-compute per-cut functions (the cone is evaluated once per cut).
     let n = aig.num_nodes();
@@ -70,14 +81,26 @@ pub fn map_luts(aig: &Aig, params: &MapParams, cost: &dyn CutCost) -> LutNetlist
     let opt_depth = depth_labels(aig, &cuts);
 
     // Reference estimates start at structural fanout.
-    let mut est_refs: Vec<f64> =
-        aig.fanout_counts().iter().map(|&c| (c as f64).max(1.0)).collect();
+    let mut est_refs: Vec<f64> = aig
+        .fanout_counts()
+        .iter()
+        .map(|&c| (c as f64).max(1.0))
+        .collect();
 
     let mut best_cut: Vec<usize> = vec![usize::MAX; n];
     // Required times: unconstrained until a cover exists.
     let mut required: Vec<u32> = vec![u32::MAX; n];
     for round in 0..=params.rounds {
-        area_flow_pass(aig, &cuts, &cut_tts, cost, &est_refs, &required, &opt_depth, &mut best_cut);
+        area_flow_pass(
+            aig,
+            &cuts,
+            &cut_tts,
+            cost,
+            &est_refs,
+            &required,
+            &opt_depth,
+            &mut best_cut,
+        );
         if round < params.rounds {
             // Refine reference estimates from the actual cover, blending
             // with the previous estimate to damp oscillation.
@@ -104,7 +127,12 @@ fn depth_labels(aig: &Aig, cuts: &[Vec<Cut>]) -> Vec<u32> {
             if cut.leaves() == [v] {
                 continue;
             }
-            let arr = 1 + cut.leaves().iter().map(|&l| depth[l as usize]).max().unwrap_or(0);
+            let arr = 1 + cut
+                .leaves()
+                .iter()
+                .map(|&l| depth[l as usize])
+                .max()
+                .unwrap_or(0);
             best = best.min(arr);
         }
         depth[vi] = best;
@@ -166,11 +194,20 @@ fn area_flow_pass(
         let mut best_arr = u32::MAX;
         for (i, cut) in cuts[vi].iter().enumerate() {
             let Some(tt) = &cut_tts[vi][i] else { continue };
-            let arr = 1 + cut.leaves().iter().map(|&l| arrival[l as usize]).max().unwrap_or(0);
+            let arr = 1 + cut
+                .leaves()
+                .iter()
+                .map(|&l| arrival[l as usize])
+                .max()
+                .unwrap_or(0);
             // Depth feasibility: before required times exist (first pass,
             // or nodes outside the previous cover) the node's depth-optimal
             // label is the limit, making the first pass depth-oriented.
-            let limit = if required[vi] != u32::MAX { required[vi] } else { opt_depth[vi] };
+            let limit = if required[vi] != u32::MAX {
+                required[vi]
+            } else {
+                opt_depth[vi]
+            };
             let feasible = arr <= limit;
             let mut f = cost.cut_cost(tt);
             for &l in cut.leaves() {
@@ -279,7 +316,9 @@ fn derive_netlist(
             let value = po.is_compl(); // !node0 == true
             net.add_lut(Vec::new(), if value { Tt::one(0) } else { Tt::zero(0) })
         } else {
-            signal[v as usize].expect("PO driver mapped").xor_compl(po.is_compl())
+            signal[v as usize]
+                .expect("PO driver mapped")
+                .xor_compl(po.is_compl())
         };
         net.add_output(s);
     }
@@ -332,7 +371,12 @@ mod tests {
             for k in [3usize, 4, 5, 6] {
                 let net = map_luts(
                     &g,
-                    &MapParams { k, max_cuts: 8, rounds: 2, ..MapParams::default() },
+                    &MapParams {
+                        k,
+                        max_cuts: 8,
+                        rounds: 2,
+                        ..MapParams::default()
+                    },
                     &AreaCost,
                 );
                 check_netlist_equiv(&g, &net);

@@ -53,7 +53,11 @@ impl MappingStats {
             depth: depth_of(net),
             branching,
             fanin_histogram,
-            mean_branching: if luts == 0 { 0.0 } else { branching as f64 / luts as f64 },
+            mean_branching: if luts == 0 {
+                0.0
+            } else {
+                branching as f64 / luts as f64
+            },
         }
     }
 }
@@ -69,7 +73,11 @@ fn depth_of(net: &LutNetlist) -> usize {
         let deepest = lut.fanins.iter().map(|f| of(&level, f)).max().unwrap_or(0);
         level[n_in + i] = deepest + 1;
     }
-    net.outputs().iter().map(|o| of(&level, o)).max().unwrap_or(0)
+    net.outputs()
+        .iter()
+        .map(|o| of(&level, o))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

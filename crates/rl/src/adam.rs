@@ -26,8 +26,16 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m_w: net.layers().iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect(),
-            v_w: net.layers().iter().map(|l| vec![0.0; l.w.as_slice().len()]).collect(),
+            m_w: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.w.as_slice().len()])
+                .collect(),
+            v_w: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.w.as_slice().len()])
+                .collect(),
             m_b: net.layers().iter().map(|l| vec![0.0; l.b.len()]).collect(),
             v_b: net.layers().iter().map(|l| vec![0.0; l.b.len()]).collect(),
         }
@@ -109,7 +117,10 @@ mod tests {
             })
             .collect();
         let loss_of = |net: &Mlp| -> f64 {
-            samples.iter().map(|(x, y)| (net.infer(x)[0] - y).powi(2)).sum::<f64>()
+            samples
+                .iter()
+                .map(|(x, y)| (net.infer(x)[0] - y).powi(2))
+                .sum::<f64>()
                 / samples.len() as f64
         };
         let initial = loss_of(&net);

@@ -74,6 +74,7 @@ pub struct DqnAgent {
 impl DqnAgent {
     /// Creates an agent with freshly initialised networks.
     pub fn new(cfg: DqnConfig) -> DqnAgent {
+        assert!(cfg.target_sync > 0, "target_sync must be at least 1 step");
         let mut sizes = vec![cfg.state_dim];
         sizes.extend_from_slice(&cfg.hidden);
         sizes.push(cfg.num_actions);
@@ -83,7 +84,16 @@ impl DqnAgent {
         let opt = Adam::new(&q, cfg.lr);
         let replay = ReplayBuffer::new(cfg.replay_capacity);
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
-        DqnAgent { cfg, q, target, opt, replay, rng, env_steps: 0, train_steps: 0 }
+        DqnAgent {
+            cfg,
+            q,
+            target,
+            opt,
+            replay,
+            rng,
+            env_steps: 0,
+            train_steps: 0,
+        }
     }
 
     /// Current exploration rate.
@@ -151,7 +161,7 @@ impl DqnAgent {
         }
         self.opt.step(&mut self.q, &grads);
         self.train_steps += 1;
-        if self.train_steps % self.cfg.target_sync == 0 {
+        if self.train_steps.is_multiple_of(self.cfg.target_sync) {
             self.target.copy_from(&self.q);
         }
         Some(loss)
@@ -205,7 +215,11 @@ mod tests {
         for i in 0..1200 {
             let s = states[i % 2].clone();
             let a = agent.select_action(&s);
-            let r = if (i % 2 == 0 && a == 1) || (i % 2 == 1 && a == 0) { 1.0 } else { 0.0 };
+            let r = if (i % 2 == 0 && a == 1) || (i % 2 == 1 && a == 0) {
+                1.0
+            } else {
+                0.0
+            };
             agent.remember(Transition {
                 state: s.clone(),
                 action: a,
@@ -215,13 +229,26 @@ mod tests {
             });
             agent.train_step();
         }
-        assert_eq!(agent.greedy(&states[0]), 1, "Q {:?}", agent.q_values(&states[0]));
-        assert_eq!(agent.greedy(&states[1]), 0, "Q {:?}", agent.q_values(&states[1]));
+        assert_eq!(
+            agent.greedy(&states[0]),
+            1,
+            "Q {:?}",
+            agent.q_values(&states[0])
+        );
+        assert_eq!(
+            agent.greedy(&states[1]),
+            0,
+            "Q {:?}",
+            agent.q_values(&states[1])
+        );
     }
 
     #[test]
     fn epsilon_decays() {
-        let mut agent = DqnAgent::new(DqnConfig { eps_decay_steps: 10, ..Default::default() });
+        let mut agent = DqnAgent::new(DqnConfig {
+            eps_decay_steps: 10,
+            ..Default::default()
+        });
         let e0 = agent.epsilon();
         for _ in 0..20 {
             agent.select_action(&vec![0.0; agent.config().state_dim]);

@@ -135,7 +135,10 @@ mod tests {
         let a = instance_embedding(&xor_chain(8));
         let b = instance_embedding(&and_chain(8));
         let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
-        assert!(dist > 1e-3, "structurally different circuits must separate: {dist}");
+        assert!(
+            dist > 1e-3,
+            "structurally different circuits must separate: {dist}"
+        );
     }
 
     #[test]

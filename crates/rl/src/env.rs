@@ -181,7 +181,11 @@ impl SynthEnv {
         } else {
             0.0
         };
-        Step { state: self.state(), reward, done }
+        Step {
+            state: self.state(),
+            reward,
+            done,
+        }
     }
 }
 
@@ -217,7 +221,10 @@ mod tests {
     #[test]
     fn episode_caps_at_max_steps() {
         let inst = small_instance();
-        let cfg = EnvConfig { max_steps: 2, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            max_steps: 2,
+            ..EnvConfig::default()
+        };
         let mut env = SynthEnv::new_rollout(&inst, cfg);
         let s1 = env.step(0);
         assert!(!s1.done);

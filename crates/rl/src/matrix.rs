@@ -14,13 +14,19 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Xavier/Glorot-uniform initialised matrix.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 

@@ -59,7 +59,10 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = sizes
             .windows(2)
-            .map(|w| Linear { w: Matrix::xavier(w[1], w[0], &mut rng), b: vec![0.0; w[1]] })
+            .map(|w| Linear {
+                w: Matrix::xavier(w[1], w[0], &mut rng),
+                b: vec![0.0; w[1]],
+            })
             .collect();
         Mlp { layers }
     }
@@ -130,7 +133,11 @@ impl Mlp {
     /// Zero-filled gradients matching this network.
     pub fn zero_grads(&self) -> Gradients {
         Gradients {
-            w: self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect(),
+            w: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
             b: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
         }
     }
@@ -150,7 +157,11 @@ impl Mlp {
     /// # Panics
     /// Panics if the architectures differ.
     pub fn copy_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(dst.w.rows(), src.w.rows());
             assert_eq!(dst.w.cols(), src.w.cols());
@@ -191,12 +202,19 @@ mod tests {
         let target = [0.5, -0.25];
         let loss = |net: &Mlp| -> f64 {
             let y = net.infer(&x);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         };
         // Analytic gradients.
         let acts = net.forward(&x);
-        let dl: Vec<f64> =
-            acts.output().iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+        let dl: Vec<f64> = acts
+            .output()
+            .iter()
+            .zip(&target)
+            .map(|(a, b)| 2.0 * (a - b))
+            .collect();
         let mut grads = net.zero_grads();
         net.backward(&acts, &dl, &mut grads);
         // Numeric check on a sample of weights in each layer.

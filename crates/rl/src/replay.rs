@@ -33,7 +33,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> ReplayBuffer {
         assert!(capacity > 0, "capacity must be positive");
-        ReplayBuffer { buf: Vec::with_capacity(capacity), capacity, next: 0 }
+        ReplayBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Current number of stored transitions.
@@ -62,7 +66,9 @@ impl ReplayBuffer {
     /// Panics if the buffer is empty.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
         assert!(!self.buf.is_empty(), "cannot sample from an empty buffer");
-        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 }
 
@@ -72,7 +78,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(r: f64) -> Transition {
-        Transition { state: vec![r], action: 0, reward: r, next_state: vec![r], done: false }
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
     }
 
     #[test]

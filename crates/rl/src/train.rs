@@ -64,7 +64,10 @@ impl TrainStats {
 /// # Panics
 /// Panics if `instances` is empty.
 pub fn train_agent(instances: &[Aig], cfg: &TrainConfig) -> (DqnAgent, TrainStats) {
-    assert!(!instances.is_empty(), "training needs at least one instance");
+    assert!(
+        !instances.is_empty(),
+        "training needs at least one instance"
+    );
     let mut agent = DqnAgent::new(cfg.dqn.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut stats = TrainStats::default();
@@ -96,7 +99,9 @@ pub fn train_agent(instances: &[Aig], cfg: &TrainConfig) -> (DqnAgent, TrainStat
         }
         stats.episode_rewards.push(terminal_reward);
         if !losses.is_empty() {
-            stats.episode_losses.push(losses.iter().sum::<f64>() / losses.len() as f64);
+            stats
+                .episode_losses
+                .push(losses.iter().sum::<f64>() / losses.len() as f64);
         }
     }
     (agent, stats)
@@ -194,8 +199,15 @@ mod tests {
         let instances = tiny_instances();
         let cfg = TrainConfig {
             episodes: 4,
-            env: EnvConfig { max_steps: 2, ..EnvConfig::default() },
-            dqn: DqnConfig { batch_size: 4, eps_decay_steps: 8, ..DqnConfig::default() },
+            env: EnvConfig {
+                max_steps: 2,
+                ..EnvConfig::default()
+            },
+            dqn: DqnConfig {
+                batch_size: 4,
+                eps_decay_steps: 8,
+                ..DqnConfig::default()
+            },
             seed: 1,
         };
         let (agent, stats) = train_agent(&instances, &cfg);
@@ -206,7 +218,10 @@ mod tests {
     #[test]
     fn policies_preserve_function() {
         let inst = &tiny_instances()[0];
-        let env_cfg = EnvConfig { max_steps: 3, ..EnvConfig::default() };
+        let env_cfg = EnvConfig {
+            max_steps: 3,
+            ..EnvConfig::default()
+        };
         let policies = [
             RecipePolicy::Random { seed: 5, steps: 3 },
             RecipePolicy::Fixed(Recipe::size_script()),
@@ -232,7 +247,10 @@ mod tests {
     fn greedy_rollout_bounded_by_max_steps() {
         let inst = &tiny_instances()[2];
         let agent = DqnAgent::new(DqnConfig::default());
-        let env_cfg = EnvConfig { max_steps: 3, ..EnvConfig::default() };
+        let env_cfg = EnvConfig {
+            max_steps: 3,
+            ..EnvConfig::default()
+        };
         let (g, recipe) = rollout_greedy(&agent, inst, &env_cfg);
         assert!(recipe.len() <= 3);
         assert!(aig::check::sim_equiv(inst, &g, 8, 9));

@@ -72,7 +72,13 @@ impl ClauseDb {
     pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
         let r = ClauseRef(self.clauses.len() as u32);
-        self.clauses.push(Clause { lits, lbd, activity: 0.0, learnt, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            lbd,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
         if learnt {
             self.num_learnt += 1;
         } else {
@@ -156,7 +162,9 @@ mod tests {
     use super::*;
 
     fn lits(v: &[i32]) -> Vec<Lit> {
-        v.iter().map(|&x| Lit::new(x.unsigned_abs() - 1, x > 0)).collect()
+        v.iter()
+            .map(|&x| Lit::new(x.unsigned_abs() - 1, x > 0))
+            .collect()
     }
 
     #[test]

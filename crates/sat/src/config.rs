@@ -107,11 +107,18 @@ pub struct Budget {
 
 impl Budget {
     /// No limits.
-    pub const UNLIMITED: Budget = Budget { conflicts: None, decisions: None, propagations: None };
+    pub const UNLIMITED: Budget = Budget {
+        conflicts: None,
+        decisions: None,
+        propagations: None,
+    };
 
     /// A conflict-count limit only.
     pub fn conflicts(n: u64) -> Budget {
-        Budget { conflicts: Some(n), ..Budget::UNLIMITED }
+        Budget {
+            conflicts: Some(n),
+            ..Budget::UNLIMITED
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub struct PresolveConfig {
 
 impl Default for PresolveConfig {
     fn default() -> PresolveConfig {
-        PresolveConfig { max_occurrences: 20, max_resolvent_len: 12, max_rounds: 4 }
+        PresolveConfig {
+            max_occurrences: 20,
+            max_resolvent_len: 12,
+            max_rounds: 4,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ pub fn presolve(formula: &Cnf, cfg: &PresolveConfig) -> Presolved {
         .iter()
         .map(|c| Some(c.iter().map(|l| l.to_dimacs()).collect()))
         .collect();
-    let mut recon = Reconstructor { num_vars, ..Reconstructor::default() };
+    let mut recon = Reconstructor {
+        num_vars,
+        ..Reconstructor::default()
+    };
     // assignment: 0 unknown, 1 true, -1 false.
     let mut assign = vec![0i8; num_vars + 1];
 
@@ -195,7 +202,8 @@ fn subsumption_pass(clauses: &mut [Option<Vec<i32>>]) -> bool {
         c.dedup();
     }
     let sig = |c: &[i32]| -> u64 {
-        c.iter().fold(0u64, |s, &l| s | 1 << (l.unsigned_abs() % 64))
+        c.iter()
+            .fold(0u64, |s, &l| s | 1 << (l.unsigned_abs() % 64))
     };
     // Occurrence lists by variable (not literal: self-subsumption needs
     // clauses containing either polarity).
@@ -208,7 +216,9 @@ fn subsumption_pass(clauses: &mut [Option<Vec<i32>>]) -> bool {
     }
     let n = clauses.len();
     for i in 0..n {
-        let Some(ci) = clauses[i].clone() else { continue };
+        let Some(ci) = clauses[i].clone() else {
+            continue;
+        };
         let si = sig(&ci);
         // Scan only the occurrence list of ci's rarest variable: every
         // clause ci (self-)subsumes mentions each of ci's variables.
@@ -217,12 +227,16 @@ fn subsumption_pass(clauses: &mut [Option<Vec<i32>>]) -> bool {
             .map(|l| l.unsigned_abs())
             .min_by_key(|v| occ.get(v).map_or(0, Vec::len));
         let Some(pivot) = pivot else { continue };
-        let Some(candidates) = occ.get(&pivot) else { continue };
+        let Some(candidates) = occ.get(&pivot) else {
+            continue;
+        };
         for &j in candidates {
             if i == j {
                 continue;
             }
-            let Some(cj) = clauses[j].as_ref() else { continue };
+            let Some(cj) = clauses[j].as_ref() else {
+                continue;
+            };
             if cj.len() < ci.len() || si & !sig(cj) != 0 {
                 continue;
             }
@@ -304,18 +318,28 @@ fn eliminate_variables(
         if assign[v as usize] != 0 {
             continue;
         }
-        let Some((pos_raw, neg_raw)) = occ_map.get(&v) else { continue };
+        let Some((pos_raw, neg_raw)) = occ_map.get(&v) else {
+            continue;
+        };
         // Re-validate: entries go stale when clauses are deleted or
         // strengthened. The lists stay *complete* because resolvents are
         // registered as they are created and clauses never gain literals.
         let pos: Vec<usize> = pos_raw
             .iter()
-            .filter(|&&idx| clauses[idx].as_ref().is_some_and(|c| c.contains(&(v as i32))))
+            .filter(|&&idx| {
+                clauses[idx]
+                    .as_ref()
+                    .is_some_and(|c| c.contains(&(v as i32)))
+            })
             .copied()
             .collect();
         let neg: Vec<usize> = neg_raw
             .iter()
-            .filter(|&&idx| clauses[idx].as_ref().is_some_and(|c| c.contains(&-(v as i32))))
+            .filter(|&&idx| {
+                clauses[idx]
+                    .as_ref()
+                    .is_some_and(|c| c.contains(&-(v as i32)))
+            })
             .copied()
             .collect();
         let occ = pos.len() + neg.len();
@@ -396,7 +420,10 @@ pub fn solve_cnf_presolved(
     match presolve(formula, pre) {
         Presolved::Sat(recon) => {
             let model = recon.extend_model(vec![false; formula.num_vars() as usize]);
-            debug_assert!(formula.eval(&model), "reconstruction must satisfy the input");
+            debug_assert!(
+                formula.eval(&model),
+                "reconstruction must satisfy the input"
+            );
             (SolveResult::Sat(model), Stats::default())
         }
         Presolved::Unsat => (SolveResult::Unsat, Stats::default()),
@@ -479,7 +506,10 @@ mod tests {
         let mut f = Cnf::new();
         f.add_unit(CnfLit::pos(1));
         f.add_unit(CnfLit::neg(1));
-        assert!(matches!(presolve(&f, &PresolveConfig::default()), Presolved::Unsat));
+        assert!(matches!(
+            presolve(&f, &PresolveConfig::default()),
+            Presolved::Unsat
+        ));
     }
 
     #[test]

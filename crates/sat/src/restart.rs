@@ -60,7 +60,12 @@ impl RestartPolicy {
     pub fn on_conflict(&mut self, lbd: u32) {
         self.conflicts_since_restart += 1;
         self.total_conflicts += 1;
-        if let RestartStrategy::Glucose { fast_shift, slow_shift, .. } = self.strategy {
+        if let RestartStrategy::Glucose {
+            fast_shift,
+            slow_shift,
+            ..
+        } = self.strategy
+        {
             let l = lbd as f64;
             // Cheap EMA initialisation: use plain averages early on.
             let fa = 1.0 / (1u64 << fast_shift) as f64;
@@ -76,7 +81,11 @@ impl RestartPolicy {
     pub fn should_restart(&self) -> bool {
         match self.strategy {
             RestartStrategy::Luby { .. } => self.conflicts_since_restart >= self.luby_target,
-            RestartStrategy::Glucose { margin, min_interval, .. } => {
+            RestartStrategy::Glucose {
+                margin,
+                min_interval,
+                ..
+            } => {
                 self.conflicts_since_restart >= min_interval
                     && self.fast_ema > margin * self.slow_ema
             }

@@ -190,7 +190,10 @@ impl Solver {
     /// # Panics
     /// Panics if called with outstanding decisions.
     pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return;
         }
@@ -287,8 +290,13 @@ impl Solver {
                 }
                 debug_assert_eq!(lits[1], false_lit);
                 let first = lits[0];
-                if first != w.blocker && self.assigns[first.var() as usize].xor(!first.is_positive()) == LBool::True {
-                    ws[j] = Watcher { cref: w.cref, blocker: first };
+                if first != w.blocker
+                    && self.assigns[first.var() as usize].xor(!first.is_positive()) == LBool::True
+                {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -298,13 +306,18 @@ impl Solver {
                     if self.assigns[lk.var() as usize].xor(!lk.is_positive()) != LBool::False {
                         lits.swap(1, k);
                         let new_watch = lits[1];
-                        self.watches[(!new_watch).index()]
-                            .push(Watcher { cref: w.cref, blocker: first });
+                        self.watches[(!new_watch).index()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // No replacement: the clause is unit or conflicting.
-                ws[j] = Watcher { cref: w.cref, blocker: first };
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 j += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: restore the remaining watchers and bail out.
@@ -371,8 +384,9 @@ impl Solver {
         learnt[0] = !p;
 
         // Minimise: drop literals implied by the rest of the clause.
-        let abstract_levels =
-            learnt[1..].iter().fold(0u64, |acc, l| acc | level_abstraction(self.level[l.var() as usize]));
+        let abstract_levels = learnt[1..].iter().fold(0u64, |acc, l| {
+            acc | level_abstraction(self.level[l.var() as usize])
+        });
         let to_clear: Vec<Var> = learnt[1..].iter().map(|l| l.var()).collect();
         let before = learnt.len();
         let mut kept = vec![learnt[0]];
@@ -399,8 +413,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
-                {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
                     max_i = i;
                 }
             }
@@ -448,8 +461,11 @@ impl Solver {
     }
 
     fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> =
-            lits.iter().map(|l| self.level[l.var() as usize]).filter(|&lv| lv > 0).collect();
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .filter(|&lv| lv > 0)
+            .collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -537,7 +553,9 @@ impl Solver {
         candidates.sort_by(|&a, &b| {
             let (ca, cb) = (self.db.get(a), self.db.get(b));
             cb.lbd.cmp(&ca.lbd).then(
-                ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let to_delete = candidates.len() / 2;
@@ -611,7 +629,11 @@ impl Solver {
             return SolveResult::Unsat;
         }
         let assumed: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_cnf(l)).collect();
-        let max_var = assumed.iter().map(|l| l.var() as usize + 1).max().unwrap_or(0);
+        let max_var = assumed
+            .iter()
+            .map(|l| l.var() as usize + 1)
+            .max()
+            .unwrap_or(0);
         self.ensure_vars(max_var);
         self.seen.resize(self.num_vars(), false);
         // Top-level propagation of any pending units.
@@ -641,9 +663,9 @@ impl Solver {
                 self.restart.on_conflict(lbd);
                 if self.stats.conflicts >= self.next_reduce {
                     self.reduce_count += 1;
-                    self.next_reduce =
-                        self.stats.conflicts + self.config.reduce_first
-                            + self.reduce_count * self.config.reduce_increment;
+                    self.next_reduce = self.stats.conflicts
+                        + self.config.reduce_first
+                        + self.reduce_count * self.config.reduce_increment;
                     self.reduce_db();
                 }
                 if self.budget_exhausted() {
@@ -762,7 +784,16 @@ mod tests {
     #[test]
     fn unit_chain() {
         // 1 -> 2 -> 3 -> ... -> 8, with 1 forced.
-        check_sat(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4], &[-4, 5], &[-5, 6], &[-6, 7], &[-7, 8]]);
+        check_sat(&[
+            &[1],
+            &[-1, 2],
+            &[-2, 3],
+            &[-3, 4],
+            &[-4, 5],
+            &[-5, 6],
+            &[-6, 7],
+            &[-7, 8],
+        ]);
     }
 
     #[test]
@@ -809,7 +840,14 @@ mod tests {
             }
             f.add_clause(c);
         }
-        let (r, stats) = solve_cnf(&f, SolverConfig::default(), Budget { decisions: Some(3), ..Budget::UNLIMITED });
+        let (r, stats) = solve_cnf(
+            &f,
+            SolverConfig::default(),
+            Budget {
+                decisions: Some(3),
+                ..Budget::UNLIMITED
+            },
+        );
         if r == SolveResult::Unknown {
             assert!(stats.decisions >= 3);
         }
@@ -867,14 +905,7 @@ mod tests {
     #[test]
     fn xor_chain_unsat() {
         // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
-        check_unsat(&[
-            &[1, 2],
-            &[-1, -2],
-            &[2, 3],
-            &[-2, -3],
-            &[1, 3],
-            &[-1, -3],
-        ]);
+        check_unsat(&[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]]);
     }
 
     #[test]
@@ -890,7 +921,9 @@ mod tests {
         let f = cnf_of(&[&[-1, 2], &[-2, 3]]);
         let mut s = Solver::from_cnf(&f, SolverConfig::default());
         // Assuming 1 and ¬3 contradicts the implications.
-        assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(3)]).is_unsat());
+        assert!(s
+            .solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(3)])
+            .is_unsat());
         // The solver is NOT globally unsat: same query without assumptions.
         assert!(s.solve().is_sat());
         // A satisfiable assumption set yields a model honouring it.
@@ -906,7 +939,9 @@ mod tests {
     fn conflicting_assumption_pair_fails() {
         let f = cnf_of(&[&[1, 2]]);
         let mut s = Solver::from_cnf(&f, SolverConfig::default());
-        assert!(s.solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(1)]).is_unsat());
+        assert!(s
+            .solve_with_assumptions(&[CnfLit::pos(1), CnfLit::neg(1)])
+            .is_unsat());
         assert!(s.solve().is_sat());
     }
 
@@ -973,7 +1008,10 @@ mod tests {
             let res = s.solve_with_assumptions(&assume);
             assert_eq!(res.is_sat(), expected, "iter {iter}");
             if let SolveResult::Sat(model) = res {
-                assert!(f_units.eval(&model), "iter {iter}: model violates assumptions");
+                assert!(
+                    f_units.eval(&model),
+                    "iter {iter}: model violates assumptions"
+                );
             }
             // And the solver is reusable afterwards with the opposite set.
             let flipped: Vec<CnfLit> = assume.iter().map(|&a| !a).collect();

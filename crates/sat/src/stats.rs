@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_mentions_decisions() {
-        let s = Stats { decisions: 42, ..Stats::default() };
+        let s = Stats {
+            decisions: 42,
+            ..Stats::default()
+        };
         assert!(format!("{s}").contains("decisions=42"));
     }
 }

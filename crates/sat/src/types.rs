@@ -73,7 +73,12 @@ impl fmt::Debug for Lit {
         if *self == Lit::UNDEF {
             return write!(f, "UNDEF");
         }
-        write!(f, "{}{}", if self.is_positive() { "" } else { "-" }, self.var() + 1)
+        write!(
+            f,
+            "{}{}",
+            if self.is_positive() { "" } else { "-" },
+            self.var() + 1
+        )
     }
 }
 

@@ -2,7 +2,7 @@
 //! handle multi-thousand-clause Tseitin CNFs in well under a second and
 //! meaningfully shrink them (gate variables resolve away).
 
-use sat::presolve::{presolve, Presolved, PresolveConfig};
+use sat::presolve::{presolve, PresolveConfig, Presolved};
 use std::time::Instant;
 
 /// A wide adder-architecture miter's Tseitin encoding (~10k clauses).
@@ -42,7 +42,11 @@ fn big_tseitin() -> cnf::Cnf {
 #[test]
 fn presolve_handles_circuit_scale_quickly() {
     let f = big_tseitin();
-    assert!(f.num_clauses() > 2_000, "want a non-trivial CNF, got {}", f.num_clauses());
+    assert!(
+        f.num_clauses() > 2_000,
+        "want a non-trivial CNF, got {}",
+        f.num_clauses()
+    );
     let t0 = Instant::now();
     let out = presolve(&f, &PresolveConfig::default());
     let dt = t0.elapsed();

@@ -66,8 +66,11 @@ where
     for var in members {
         let sig = &sigs[var as usize];
         let phase = sig.first().is_some_and(|w| w & 1 != 0);
-        let canon: Vec<u64> =
-            if phase { sig.iter().map(|w| !w).collect() } else { sig.clone() };
+        let canon: Vec<u64> = if phase {
+            sig.iter().map(|w| !w).collect()
+        } else {
+            sig.clone()
+        };
         match buckets.get_mut(&canon) {
             Some(class) => class.push(ClassMember { var, phase }),
             None => {
@@ -94,10 +97,10 @@ mod tests {
     fn complemented_signatures_share_a_class() {
         // Node 1: 0b0110..., node 2: 0b1001... (complement), node 3 distinct.
         let sigs = vec![
-            vec![0u64],          // constant node
-            vec![0x6666_u64],    // f
-            vec![!0x6666_u64],   // ¬f
-            vec![0x1234_u64],    // unrelated
+            vec![0u64],        // constant node
+            vec![0x6666_u64],  // f
+            vec![!0x6666_u64], // ¬f
+            vec![0x1234_u64],  // unrelated
         ];
         let classes = candidate_classes(&sigs, [1, 2, 3]);
         assert_eq!(classes.len(), 1);
@@ -131,7 +134,10 @@ mod tests {
         let c = &classes.classes()[0];
         assert_eq!(c.len(), 3);
         assert_eq!(c[0].var, 0);
-        assert!(c[1].phase, "all-ones node is the complement of constant false");
+        assert!(
+            c[1].phase,
+            "all-ones node is the complement of constant false"
+        );
         assert!(!c[2].phase);
     }
 }

@@ -104,8 +104,8 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         extend_with_patterns(aig, &mut sigs, &extra);
 
         // Candidates: constant node + reachable, not-yet-merged PIs/ANDs.
-        let members = (0..n as Var)
-            .filter(|&v| v == 0 || (reach[v as usize] && equiv[v as usize].is_none()));
+        let members =
+            (0..n as Var).filter(|&v| v == 0 || (reach[v as usize] && equiv[v as usize].is_none()));
         let classes = candidate_classes(&sigs, members);
 
         let mut new_cex: Vec<Vec<bool>> = Vec::new();
@@ -152,7 +152,10 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         extra.extend(new_cex);
     }
 
-    FraigOutcome { aig: rebuild(aig, &equiv), stats }
+    FraigOutcome {
+        aig: rebuild(aig, &equiv),
+        stats,
+    }
 }
 
 enum Answer {
@@ -207,7 +210,8 @@ impl PairOracle {
             }
             None => {
                 // repr is the constant node: test `member ≠ phase`.
-                self.solver.solve_with_assumptions(&[if phase { !a } else { a }])
+                self.solver
+                    .solve_with_assumptions(&[if phase { !a } else { a }])
             }
         };
         match result {
@@ -225,7 +229,10 @@ fn cnf_lit_of(vmap: &VarMap, var: Var, phase: bool) -> Option<CnfLit> {
         // Constant false node; may be unencoded. Handled by the caller.
         return None;
     }
-    Some(vmap.lit(Lit::from_var(var, phase)).expect("repr is PO-reachable, hence encoded"))
+    Some(
+        vmap.lit(Lit::from_var(var, phase))
+            .expect("repr is PO-reachable, hence encoded"),
+    )
 }
 
 /// Rebuilds the graph substituting merged nodes, then drops dangling logic.
@@ -309,8 +316,11 @@ mod tests {
             let t = g.or(ab, ac);
             carry = g.or(t, bc);
         }
-        let diffs: Vec<Lit> =
-            sums_a.iter().zip(&sums_b).map(|(&a, &b)| g.xor(a, b)).collect();
+        let diffs: Vec<Lit> = sums_a
+            .iter()
+            .zip(&sums_b)
+            .map(|(&a, &b)| g.xor(a, b))
+            .collect();
         let any = g.or_many(&diffs);
         g.add_po(any);
         g
@@ -320,7 +330,11 @@ mod tests {
     fn collapses_equivalence_miter_to_constant_false() {
         let g = equivalence_miter(4);
         let out = fraig(&g, &FraigParams::default());
-        assert_eq!(out.aig.pos()[0], Lit::FALSE, "miter of equal circuits is constant 0");
+        assert_eq!(
+            out.aig.pos()[0],
+            Lit::FALSE,
+            "miter of equal circuits is constant 0"
+        );
         assert_eq!(out.aig.num_ands(), 0);
         assert!(out.stats.proved > 0);
     }
@@ -389,7 +403,10 @@ mod tests {
     #[test]
     fn zero_budget_degrades_gracefully() {
         let g = equivalence_miter(3);
-        let params = FraigParams { conflict_budget: 0, ..FraigParams::default() };
+        let params = FraigParams {
+            conflict_budget: 0,
+            ..FraigParams::default()
+        };
         let out = fraig(&g, &params);
         // Few merges may be proved, but the graph must stay equivalent.
         assert!(sim_equiv(&g, &out.aig, 8, 7));
@@ -409,7 +426,13 @@ mod tests {
         let most = g.and_many(&p[..5]); // differs from `all` on one minterm class
         let d = g.xor(all, most);
         g.add_po(d);
-        let out = fraig(&g, &FraigParams { sim_words: 1, ..FraigParams::default() });
+        let out = fraig(
+            &g,
+            &FraigParams {
+                sim_words: 1,
+                ..FraigParams::default()
+            },
+        );
         assert!(exhaustive_equiv(&g, &out.aig));
     }
 

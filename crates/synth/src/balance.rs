@@ -19,10 +19,7 @@ pub fn balance(aig: &Aig) -> Aig {
     for v in aig.iter_ands() {
         let n = aig.node(v);
         for f in n.fanins() {
-            if !f.is_compl()
-                && aig.node(f.var()).is_and()
-                && fanout[f.var() as usize] == 1
-            {
+            if !f.is_compl() && aig.node(f.var()).is_and() && fanout[f.var() as usize] == 1 {
                 interior[f.var() as usize] = true;
             }
         }
@@ -54,7 +51,9 @@ pub fn balance(aig: &Aig) -> Aig {
         let mut mapped: Vec<(u32, Lit)> = operands
             .iter()
             .map(|&l| {
-                let nl = map[l.var() as usize].expect("operand built").xor_compl(l.is_compl());
+                let nl = map[l.var() as usize]
+                    .expect("operand built")
+                    .xor_compl(l.is_compl());
                 (level_of(&levels, nl), nl)
             })
             .collect();
@@ -117,7 +116,7 @@ fn level_of(levels: &[u32], l: Lit) -> u32 {
 }
 
 #[inline]
-fn set_level(levels: &mut Vec<u32>, l: Lit, lv: u32) {
+fn set_level(levels: &mut [u32], l: Lit, lv: u32) {
     let idx = l.var() as usize;
     if idx < levels.len() {
         levels[idx] = levels[idx].max(lv);

@@ -40,7 +40,11 @@ pub struct StructBuilder {
 impl StructBuilder {
     /// A builder over `n_leaves` leaves.
     pub fn new(n_leaves: usize) -> StructBuilder {
-        StructBuilder { n_leaves, gates: Vec::new(), strash: FastMap::default() }
+        StructBuilder {
+            n_leaves,
+            gates: Vec::new(),
+            strash: FastMap::default(),
+        }
     }
 
     /// Signal of leaf `i`.
@@ -106,7 +110,11 @@ impl StructBuilder {
 
     /// Finalises the structure with `root` as its output.
     pub fn finish(self, root: Sig) -> GateList {
-        GateList { n_leaves: self.n_leaves, gates: self.gates, root }
+        GateList {
+            n_leaves: self.n_leaves,
+            gates: self.gates,
+            root,
+        }
     }
 }
 

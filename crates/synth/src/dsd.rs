@@ -44,7 +44,11 @@ fn decompose_rec(f: &Tt, b: &mut StructBuilder, memo: &mut FastMap<Tt, Sig>) -> 
     // Single literal?
     if sup.len() == 1 {
         let v = sup[0];
-        let s = if f.bit(1 << v) { b.leaf(v) } else { sig_not(b.leaf(v)) };
+        let s = if f.bit(1 << v) {
+            b.leaf(v)
+        } else {
+            sig_not(b.leaf(v))
+        };
         memo.insert(f.clone(), s);
         return s;
     }
@@ -154,8 +158,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         for n in 4..=8usize {
             for _ in 0..25 {
-                let words =
-                    (0..(if n <= 6 { 1 } else { 1 << (n - 6) })).map(|_| rng.gen()).collect();
+                let words = (0..(if n <= 6 { 1 } else { 1 << (n - 6) }))
+                    .map(|_| rng.gen())
+                    .collect();
                 let f = Tt::from_words(n, words);
                 let gl = decompose(&f);
                 assert_eq!(gatelist_tt(&gl), f, "n={n}");
@@ -199,6 +204,10 @@ mod tests {
         let maj = (&(&a & &b) | &(&b & &c)) | (&a & &c);
         let gl = decompose(&maj);
         assert_eq!(gatelist_tt(&gl), maj);
-        assert!(gl.size() <= 6, "majority should need few gates, got {}", gl.size());
+        assert!(
+            gl.size() <= 6,
+            "majority should need few gates, got {}",
+            gl.size()
+        );
     }
 }

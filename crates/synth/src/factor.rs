@@ -23,7 +23,10 @@ pub fn factor(f: &Tt) -> GateList {
     if pos.size() <= neg.size() {
         pos
     } else {
-        GateList { root: flip_root(neg.root), ..neg }
+        GateList {
+            root: flip_root(neg.root),
+            ..neg
+        }
     }
 }
 
@@ -64,7 +67,11 @@ fn factor_rec(cover: &[Cube], b: &mut StructBuilder) -> Sig {
     }
     debug_assert!(!quotient.is_empty());
     let q_sig = factor_rec(&quotient, b);
-    let lit_sig = if positive { b.leaf(var) } else { sig_not(b.leaf(var)) };
+    let lit_sig = if positive {
+        b.leaf(var)
+    } else {
+        sig_not(b.leaf(var))
+    };
     let lhs = b.and(lit_sig, q_sig);
     if remainder.is_empty() {
         lhs
@@ -144,8 +151,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(33);
         for n in 4..=8usize {
             for _ in 0..20 {
-                let words =
-                    (0..(if n <= 6 { 1 } else { 1 << (n - 6) })).map(|_| rng.gen()).collect();
+                let words = (0..(if n <= 6 { 1 } else { 1 << (n - 6) }))
+                    .map(|_| rng.gen())
+                    .collect();
                 let f = Tt::from_words(n, words);
                 let gl = factor(&f);
                 assert_eq!(gatelist_tt(&gl), f, "n={n}");
@@ -161,7 +169,11 @@ mod tests {
         let f = (&(&a & &Tt::var(n, 1)) | &(&a & &Tt::var(n, 2))) | (&a & &Tt::var(n, 3));
         let gl = factor(&f);
         assert_eq!(gatelist_tt(&gl), f);
-        assert!(gl.size() <= 3, "kernel extraction expected, got {}", gl.size());
+        assert!(
+            gl.size() <= 3,
+            "kernel extraction expected, got {}",
+            gl.size()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub enum Choice {
 /// Panics if a structure's leaves do not all have node index strictly below
 /// the owning node, or if `choices.len() != aig.num_nodes()`.
 pub fn rebuild(aig: &Aig, choices: &[Choice]) -> Aig {
-    assert_eq!(choices.len(), aig.num_nodes(), "one choice per node required");
+    assert_eq!(
+        choices.len(),
+        aig.num_nodes(),
+        "one choice per node required"
+    );
     let mut new = Aig::with_capacity(aig.num_nodes());
     let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
     map[0] = Some(Lit::FALSE);
@@ -48,7 +52,15 @@ pub fn rebuild(aig: &Aig, choices: &[Choice]) -> Aig {
     let mut stack: Vec<Var> = Vec::new();
     let mut deps: Vec<Var> = Vec::new();
     for &po in aig.pos() {
-        resolve(aig, choices, &mut new, &mut map, &mut stack, &mut deps, po.var());
+        resolve(
+            aig,
+            choices,
+            &mut new,
+            &mut map,
+            &mut stack,
+            &mut deps,
+            po.var(),
+        );
     }
     for &po in aig.pos() {
         let l = map[po.var() as usize].expect("PO resolved");
@@ -62,7 +74,7 @@ fn resolve(
     aig: &Aig,
     choices: &[Choice],
     new: &mut Aig,
-    map: &mut Vec<Option<Lit>>,
+    map: &mut [Option<Lit>],
     stack: &mut Vec<Var>,
     deps: &mut Vec<Var>,
     root: Var,
@@ -117,7 +129,9 @@ fn resolve(
 
 #[inline]
 fn mapped(map: &[Option<Lit>], old: Lit) -> Lit {
-    map[old.var() as usize].expect("dependency resolved").xor_compl(old.is_compl())
+    map[old.var() as usize]
+        .expect("dependency resolved")
+        .xor_compl(old.is_compl())
 }
 
 #[cfg(test)]
@@ -154,8 +168,15 @@ mod tests {
         g.add_po(y);
         let mut choices = all_copy(&g);
         // Structure: one AND of leaves (a, b); root = that gate.
-        let gl = GateList { n_leaves: 2, gates: vec![(0, 2)], root: 2 << 1 };
-        choices[x.var() as usize] = Choice::Structure { leaves: vec![a, b], gl };
+        let gl = GateList {
+            n_leaves: 2,
+            gates: vec![(0, 2)],
+            root: 2 << 1,
+        };
+        choices[x.var() as usize] = Choice::Structure {
+            leaves: vec![a, b],
+            gl,
+        };
         let h = rebuild(&g, &choices);
         assert!(exhaustive_equiv(&g, &h));
     }
@@ -174,19 +195,32 @@ mod tests {
         // Pretend resub discovered out == a ^ b and forwards `dup` as !(a|b)
         // rebuilt from scratch: replace `out` with or-structure over [t, dup].
         // out = !t & !dup  -> structure gate (leaf0 compl, leaf1 compl).
-        let gl = GateList { n_leaves: 2, gates: vec![(1, 3)], root: 2 << 1 };
+        let gl = GateList {
+            n_leaves: 2,
+            gates: vec![(1, 3)],
+            root: 2 << 1,
+        };
         let mut choices = all_copy(&g);
-        choices[out.var() as usize] = Choice::Structure { leaves: vec![t, dup], gl };
+        choices[out.var() as usize] = Choice::Structure {
+            leaves: vec![t, dup],
+            gl,
+        };
         let h = rebuild(&g, &choices);
         assert!(exhaustive_equiv(&g, &h));
 
         // A genuinely zero-gate forward: replace `dup` by constant-free
         // literal of `t`'s complement is wrong functionally; instead forward
         // `out` directly to itself through a 1-leaf identity structure.
-        let ident = GateList { n_leaves: 1, gates: vec![], root: 0 };
+        let ident = GateList {
+            n_leaves: 1,
+            gates: vec![],
+            root: 0,
+        };
         let mut choices = all_copy(&g);
-        choices[out.var() as usize] =
-            Choice::Structure { leaves: vec![out.regular()], gl: ident };
+        choices[out.var() as usize] = Choice::Structure {
+            leaves: vec![out.regular()],
+            gl: ident,
+        };
         // Self-reference is illegal (leaf index not below node) — expect panic.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rebuild(&g, &choices)));
         assert!(r.is_err());
@@ -204,8 +238,15 @@ mod tests {
         g.add_po(y);
         let mut choices = all_copy(&g);
         // Illegal: x tries to reference the later node y.
-        let gl = GateList { n_leaves: 1, gates: vec![], root: 0 };
-        choices[x.var() as usize] = Choice::Structure { leaves: vec![y], gl };
+        let gl = GateList {
+            n_leaves: 1,
+            gates: vec![],
+            root: 0,
+        };
+        choices[x.var() as usize] = Choice::Structure {
+            leaves: vec![y],
+            gl,
+        };
         let _ = rebuild(&g, &choices);
     }
 
@@ -216,7 +257,11 @@ mod tests {
         let b = g.add_pi();
         let mut acc = g.and(a, b);
         for i in 0..50_000 {
-            acc = if i % 2 == 0 { g.or(acc, a) } else { g.and(acc, b) };
+            acc = if i % 2 == 0 {
+                g.or(acc, a)
+            } else {
+                g.and(acc, b)
+            };
         }
         g.add_po(acc);
         let h = rebuild(&g, &all_copy(&g));

@@ -28,8 +28,13 @@ pub enum SynthOp {
 
 impl SynthOp {
     /// All operations, in a stable order (the RL action indexing).
-    pub const ALL: [SynthOp; 5] =
-        [SynthOp::Balance, SynthOp::Rewrite, SynthOp::RewriteZ, SynthOp::Refactor, SynthOp::Resub];
+    pub const ALL: [SynthOp; 5] = [
+        SynthOp::Balance,
+        SynthOp::Rewrite,
+        SynthOp::RewriteZ,
+        SynthOp::Refactor,
+        SynthOp::Resub,
+    ];
 
     /// Short ABC-style mnemonic.
     pub fn mnemonic(self) -> &'static str {
@@ -80,7 +85,13 @@ pub fn apply_op(aig: &Aig, op: SynthOp) -> Aig {
     match op {
         SynthOp::Balance => balance(aig),
         SynthOp::Rewrite => rewrite(aig, &RewriteParams::default()),
-        SynthOp::RewriteZ => rewrite(aig, &RewriteParams { zero_gain: true, max_cuts: 8 }),
+        SynthOp::RewriteZ => rewrite(
+            aig,
+            &RewriteParams {
+                zero_gain: true,
+                max_cuts: 8,
+            },
+        ),
         SynthOp::Refactor => refactor(aig, &RefactorParams::default()),
         SynthOp::Resub => resub(aig, &ResubParams::default()),
     }
@@ -117,20 +128,29 @@ impl Recipe {
     /// (Eén–Mishchenko–Sörensson, SAT 2007).
     pub fn size_script() -> Recipe {
         use SynthOp::*;
-        Recipe { ops: vec![Balance, Rewrite, Refactor, Balance, Rewrite, Balance] }
+        Recipe {
+            ops: vec![Balance, Rewrite, Refactor, Balance, Rewrite, Balance],
+        }
     }
 
     /// A `resyn2`-flavoured script with zero-gain perturbation.
     pub fn resyn2() -> Recipe {
         use SynthOp::*;
-        Recipe { ops: vec![Balance, Rewrite, Refactor, Balance, Rewrite, RewriteZ, Balance, Refactor, RewriteZ, Balance] }
+        Recipe {
+            ops: vec![
+                Balance, Rewrite, Refactor, Balance, Rewrite, RewriteZ, Balance, Refactor,
+                RewriteZ, Balance,
+            ],
+        }
     }
 
     /// The normalisation prelude the framework applies to unify input
     /// distributions before the RL episode (Sec. III-A).
     pub fn normalize() -> Recipe {
         use SynthOp::*;
-        Recipe { ops: vec![Balance, Rewrite] }
+        Recipe {
+            ops: vec![Balance, Rewrite],
+        }
     }
 
     /// The operations of the recipe.
@@ -183,7 +203,9 @@ impl FromStr for Recipe {
 
 impl FromIterator<SynthOp> for Recipe {
     fn from_iter<T: IntoIterator<Item = SynthOp>>(iter: T) -> Recipe {
-        Recipe { ops: iter.into_iter().collect() }
+        Recipe {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -228,7 +250,12 @@ mod tests {
         let g = random_aig(12);
         let h = Recipe::size_script().apply(&g);
         assert!(sim_equiv(&g, &h, 8, 18));
-        assert!(h.num_ands() <= g.num_ands(), "{} -> {}", g.num_ands(), h.num_ands());
+        assert!(
+            h.num_ands() <= g.num_ands(),
+            "{} -> {}",
+            g.num_ands(),
+            h.num_ands()
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct RefactorParams {
 
 impl Default for RefactorParams {
     fn default() -> RefactorParams {
-        RefactorParams { max_leaves: 10, zero_gain: false }
+        RefactorParams {
+            max_leaves: 10,
+            zero_gain: false,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ pub fn refactor(aig: &Aig, params: &RefactorParams) -> Aig {
         let gain = cone.len() as i64 - cost as i64;
         let threshold = if params.zero_gain { 0 } else { 1 };
         if gain >= threshold {
-            choices[v as usize] = Choice::Structure { leaves: leaf_lits, gl };
+            choices[v as usize] = Choice::Structure {
+                leaves: leaf_lits,
+                gl,
+            };
         }
     }
 
@@ -83,8 +89,8 @@ pub(crate) fn reconvergence_cut(aig: &Aig, root: Var, max_leaves: usize) -> Vec<
             }
             let f0 = n.fanin0().var();
             let f1 = n.fanin1().var();
-            let cost = (!leaves.contains(&f0)) as i32 + (!leaves.contains(&f1) && f1 != f0) as i32
-                - 1;
+            let cost =
+                (!leaves.contains(&f0)) as i32 + (!leaves.contains(&f1) && f1 != f0) as i32 - 1;
             if leaves.len() as i32 + cost > max_leaves as i32 {
                 continue;
             }
@@ -210,14 +216,25 @@ mod tests {
         g.add_po(out);
         let h = refactor(&g, &RefactorParams::default());
         assert!(exhaustive_equiv(&g, &h));
-        assert!(h.num_ands() < g.num_ands(), "{} !< {}", h.num_ands(), g.num_ands());
+        assert!(
+            h.num_ands() < g.num_ands(),
+            "{} !< {}",
+            h.num_ands(),
+            g.num_ands()
+        );
     }
 
     #[test]
     fn max_leaves_out_of_range_panics() {
         let g = random_aig(3, 4, 10);
         let r = std::panic::catch_unwind(|| {
-            refactor(&g, &RefactorParams { max_leaves: 20, zero_gain: false })
+            refactor(
+                &g,
+                &RefactorParams {
+                    max_leaves: 20,
+                    zero_gain: false,
+                },
+            )
         });
         assert!(r.is_err());
     }

@@ -30,7 +30,10 @@ pub struct ResubParams {
 
 impl Default for ResubParams {
     fn default() -> ResubParams {
-        ResubParams { max_leaves: 8, max_divisors: 64 }
+        ResubParams {
+            max_leaves: 8,
+            max_divisors: 64,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ pub fn resub(aig: &Aig, params: &ResubParams) -> Aig {
             .copied()
             .filter(|&d| d != v && d < v && !cone_set.contains(&d))
             .collect();
-        debug_assert!(leaves.iter().all(|l| divisors.contains(l)), "leaves are divisors");
+        debug_assert!(
+            leaves.iter().all(|l| divisors.contains(l)),
+            "leaves are divisors"
+        );
         // ...plus *side* divisors: logic outside the cone whose support lies
         // within the cut, grown by walking fanouts of known-table nodes.
         let mut frontier: Vec<Var> = divisors.clone();
@@ -163,7 +169,11 @@ const POLARITIES: [(bool, bool, bool); 8] = [
 ];
 
 fn identity_gl(compl: bool) -> GateList {
-    GateList { n_leaves: 1, gates: vec![], root: GateList::leaf(0, compl) }
+    GateList {
+        n_leaves: 1,
+        gates: vec![],
+        root: GateList::leaf(0, compl),
+    }
 }
 
 fn and2_gl(out_compl: bool) -> GateList {

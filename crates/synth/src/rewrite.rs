@@ -28,13 +28,22 @@ pub struct RewriteParams {
 
 impl Default for RewriteParams {
     fn default() -> RewriteParams {
-        RewriteParams { zero_gain: false, max_cuts: 8 }
+        RewriteParams {
+            zero_gain: false,
+            max_cuts: 8,
+        }
     }
 }
 
 /// Rewrites the graph, returning a functionally equivalent one.
 pub fn rewrite(aig: &Aig, params: &RewriteParams) -> Aig {
-    let cuts = enumerate_cuts(aig, &CutParams { k: 4, max_cuts: params.max_cuts });
+    let cuts = enumerate_cuts(
+        aig,
+        &CutParams {
+            k: 4,
+            max_cuts: params.max_cuts,
+        },
+    );
     let mut mffc = Mffc::new(aig);
     let fanout = aig.fanout_counts();
     let mut choices: Vec<Choice> = vec![Choice::Copy; aig.num_nodes()];
@@ -69,8 +78,10 @@ pub fn rewrite(aig: &Aig, params: &RewriteParams) -> Aig {
                 Some((g, _, _)) => gain > *g,
             };
             if better {
-                let rooted =
-                    GateList { root: if out_compl { sig_not(gl.root) } else { gl.root }, ..gl };
+                let rooted = GateList {
+                    root: if out_compl { sig_not(gl.root) } else { gl.root },
+                    ..gl
+                };
                 best = Some((gain, w.to_vec(), rooted));
             }
         }
@@ -184,13 +195,24 @@ mod tests {
         let before = g.num_ands();
         let h = rewrite(&g, &RewriteParams::default());
         assert!(exhaustive_equiv(&g, &h));
-        assert!(h.num_ands() <= before, "rewrite must not grow: {} -> {}", before, h.num_ands());
+        assert!(
+            h.num_ands() <= before,
+            "rewrite must not grow: {} -> {}",
+            before,
+            h.num_ands()
+        );
     }
 
     #[test]
     fn zero_gain_allowed_still_equivalent() {
         let g = random_aig(7, 8, 80);
-        let h = rewrite(&g, &RewriteParams { zero_gain: true, max_cuts: 8 });
+        let h = rewrite(
+            &g,
+            &RewriteParams {
+                zero_gain: true,
+                max_cuts: 8,
+            },
+        );
         assert!(sim_equiv(&g, &h, 8, 1234));
     }
 
@@ -202,6 +224,11 @@ mod tests {
         let h3 = rewrite(&h2, &RewriteParams::default());
         assert!(sim_equiv(&g, &h3, 8, 5));
         // The pass chain must not blow the graph up overall.
-        assert!(h3.num_ands() <= g.num_ands(), "{} -> {}", g.num_ands(), h3.num_ands());
+        assert!(
+            h3.num_ands() <= g.num_ands(),
+            "{} -> {}",
+            g.num_ands(),
+            h3.num_ands()
+        );
     }
 }

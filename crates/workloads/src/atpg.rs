@@ -90,7 +90,10 @@ pub fn random_testable_fault(src: &Aig, seed: u64, tries: usize) -> Option<(Stuc
 pub fn random_fault_miter(src: &Aig, seed: u64) -> (StuckAtFault, Aig) {
     let mut rng = StdRng::seed_from_u64(seed);
     let node = rng.gen_range(1..src.num_nodes() as Var);
-    let fault = StuckAtFault { node, value: rng.gen() };
+    let fault = StuckAtFault {
+        node,
+        value: rng.gen(),
+    };
     let m = atpg_miter(src, fault);
     (fault, m)
 }
@@ -107,7 +110,10 @@ mod tests {
         let b = g.add_pi();
         let x = g.and(a, b);
         g.add_po(x);
-        let fault = StuckAtFault { node: a.var(), value: true };
+        let fault = StuckAtFault {
+            node: a.var(),
+            value: true,
+        };
         let f = inject_stuck_at(&g, fault);
         // With a stuck at 1, output equals b.
         assert_eq!(f.eval(&[false, true]), vec![true]);
@@ -122,7 +128,10 @@ mod tests {
         let x = g.and(a, b);
         let y = g.or(x, a);
         g.add_po(y);
-        let fault = StuckAtFault { node: x.var(), value: true };
+        let fault = StuckAtFault {
+            node: x.var(),
+            value: true,
+        };
         let f = inject_stuck_at(&g, fault);
         // y = 1 | a = 1 always.
         for ins in [[false, false], [true, false], [false, true]] {
@@ -153,7 +162,10 @@ mod tests {
         let live = g.and(a, b);
         let dead = g.xor(a, b);
         g.add_po(live);
-        let fault = StuckAtFault { node: dead.var(), value: true };
+        let fault = StuckAtFault {
+            node: dead.var(),
+            value: true,
+        };
         let m = atpg_miter(&g, fault);
         let undetected = (0..4usize).all(|p| {
             let ins: Vec<bool> = (0..2).map(|i| p >> i & 1 != 0).collect();

@@ -29,7 +29,10 @@ pub fn ripple_carry_adder(n: usize) -> Block {
         carry = c;
     }
     g.add_po(carry);
-    Block { aig: g, name: format!("rca{n}") }
+    Block {
+        aig: g,
+        name: format!("rca{n}"),
+    }
 }
 
 /// Carry-lookahead adder (block size 1, i.e. explicit generate/propagate
@@ -60,7 +63,10 @@ pub fn carry_lookahead_adder(n: usize) -> Block {
         g.add_po(s);
     }
     g.add_po(carries[n]);
-    Block { aig: g, name: format!("cla{n}") }
+    Block {
+        aig: g,
+        name: format!("cla{n}"),
+    }
 }
 
 /// Carry-select adder with the given block width: a third adder structure.
@@ -98,7 +104,10 @@ pub fn carry_select_adder(n: usize, block: usize) -> Block {
         g.add_po(s);
     }
     g.add_po(carry);
-    Block { aig: g, name: format!("csel{n}x{block}") }
+    Block {
+        aig: g,
+        name: format!("csel{n}x{block}"),
+    }
 }
 
 /// Array multiplier: `n`-bit a × b, `2n` outputs, row-by-row accumulation.
@@ -129,7 +138,10 @@ pub fn array_multiplier(n: usize) -> Block {
     for s in acc {
         g.add_po(s);
     }
-    Block { aig: g, name: format!("mul{n}") }
+    Block {
+        aig: g,
+        name: format!("mul{n}"),
+    }
 }
 
 /// Shift-and-add multiplier with column-wise (transposed) accumulation —
@@ -177,7 +189,10 @@ pub fn column_multiplier(n: usize) -> Block {
     for s in outputs {
         g.add_po(s);
     }
-    Block { aig: g, name: format!("cmul{n}") }
+    Block {
+        aig: g,
+        name: format!("cmul{n}"),
+    }
 }
 
 /// Equality comparator (`a == b`, one output).
@@ -188,7 +203,10 @@ pub fn comparator_eq(n: usize) -> Block {
     let eqs: Vec<Lit> = (0..n).map(|i| g.xnor(a[i], b[i])).collect();
     let out = g.and_many(&eqs);
     g.add_po(out);
-    Block { aig: g, name: format!("eq{n}") }
+    Block {
+        aig: g,
+        name: format!("eq{n}"),
+    }
 }
 
 /// Unsigned less-than comparator (`a < b`, one output).
@@ -205,7 +223,10 @@ pub fn comparator_lt(n: usize) -> Block {
         lt = g.or(bi_gt, keep);
     }
     g.add_po(lt);
-    Block { aig: g, name: format!("lt{n}") }
+    Block {
+        aig: g,
+        name: format!("lt{n}"),
+    }
 }
 
 /// A small ALU: two `n`-bit operands, 2 select bits choosing between
@@ -227,7 +248,10 @@ pub fn alu(n: usize) -> Block {
         let out = g.mux(s[1], hi, lo);
         g.add_po(out);
     }
-    Block { aig: g, name: format!("alu{n}") }
+    Block {
+        aig: g,
+        name: format!("alu{n}"),
+    }
 }
 
 /// Balanced multiplexer tree: `2^k` data inputs, `k` selects, one output.
@@ -245,7 +269,10 @@ pub fn mux_tree(k: usize) -> Block {
         debug_assert_eq!(layer.len(), 1 << (k - level - 1));
     }
     g.add_po(layer[0]);
-    Block { aig: g, name: format!("mux{}", 1 << k) }
+    Block {
+        aig: g,
+        name: format!("mux{}", 1 << k),
+    }
 }
 
 /// Parity tree over `n` inputs (one output) — maximally XOR-heavy logic.
@@ -254,7 +281,10 @@ pub fn parity(n: usize) -> Block {
     let pis = g.add_pis(n);
     let x = g.xor_many(&pis);
     g.add_po(x);
-    Block { aig: g, name: format!("par{n}") }
+    Block {
+        aig: g,
+        name: format!("par{n}"),
+    }
 }
 
 fn full_adder(g: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
@@ -276,14 +306,19 @@ mod tests {
     use aig::check::exhaustive_equiv;
 
     fn num(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
     }
 
     #[test]
     fn adders_add() {
         for n in [2usize, 3, 4] {
-            for blk in [ripple_carry_adder(n), carry_lookahead_adder(n), carry_select_adder(n, 2)]
-            {
+            for blk in [
+                ripple_carry_adder(n),
+                carry_lookahead_adder(n),
+                carry_select_adder(n, 2),
+            ] {
                 for av in 0..(1u64 << n) {
                     for bv in 0..(1u64 << n) {
                         let mut ins = Vec::new();

@@ -59,12 +59,22 @@ pub struct DatasetParams {
 impl DatasetParams {
     /// Profile resembling the paper's *training* split: easy instances.
     pub fn training(count: usize) -> DatasetParams {
-        DatasetParams { count, min_bits: 4, max_bits: 12, hard_multipliers: false }
+        DatasetParams {
+            count,
+            min_bits: 4,
+            max_bits: 12,
+            hard_multipliers: false,
+        }
     }
 
     /// Profile resembling the paper's *test* split: harder instances.
     pub fn test(count: usize) -> DatasetParams {
-        DatasetParams { count, min_bits: 8, max_bits: 24, hard_multipliers: true }
+        DatasetParams {
+            count,
+            min_bits: 8,
+            max_bits: 24,
+            hard_multipliers: true,
+        }
     }
 }
 
@@ -97,15 +107,28 @@ fn make_lec(params: &DatasetParams, seed: u64, idx: usize) -> Option<Instance> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bits = pick_bits(params, &mut rng);
     // Choose an architecture pair.
-    let family = if params.hard_multipliers { rng.gen_range(0..6) } else { rng.gen_range(0..5) };
+    let family = if params.hard_multipliers {
+        rng.gen_range(0..6)
+    } else {
+        rng.gen_range(0..5)
+    };
     let (a, b): (Block, Block) = match family {
         0 => (ripple_carry_adder(bits), carry_lookahead_adder(bits)),
-        1 => (ripple_carry_adder(bits), carry_select_adder(bits, 2 + bits / 6)),
+        1 => (
+            ripple_carry_adder(bits),
+            carry_select_adder(bits, 2 + bits / 6),
+        ),
         2 => (carry_lookahead_adder(bits), carry_select_adder(bits, 2)),
         3 => {
             let base = alu(bits.min(16));
             let re = restructure(&base.aig, rng.gen());
-            (base.clone(), Block { aig: re, name: format!("{}r", base.name) })
+            (
+                base.clone(),
+                Block {
+                    aig: re,
+                    name: format!("{}r", base.name),
+                },
+            )
         }
         4 => {
             let base = match rng.gen_range(0..4) {
@@ -115,7 +138,13 @@ fn make_lec(params: &DatasetParams, seed: u64, idx: usize) -> Option<Instance> {
                 _ => parity(bits + 4),
             };
             let re = restructure(&base.aig, rng.gen());
-            (base.clone(), Block { aig: re, name: format!("{}r", base.name) })
+            (
+                base.clone(),
+                Block {
+                    aig: re,
+                    name: format!("{}r", base.name),
+                },
+            )
         }
         _ => {
             // Hard core: multiplier architecture equivalence.
@@ -162,7 +191,10 @@ fn make_atpg(params: &DatasetParams, seed: u64, idx: usize) -> Option<Instance> 
     if rng.gen_bool(0.8) {
         let (fault, m) = random_testable_fault(&base.aig, rng.gen(), 64)?;
         Some(Instance {
-            name: format!("atpg_{:04}_{}_sa{}_{}", idx, base.name, fault.value as u8, fault.node),
+            name: format!(
+                "atpg_{:04}_{}_sa{}_{}",
+                idx, base.name, fault.value as u8, fault.node
+            ),
             kind: InstanceKind::Atpg,
             aig: m,
             expected: Some(true),
@@ -170,7 +202,10 @@ fn make_atpg(params: &DatasetParams, seed: u64, idx: usize) -> Option<Instance> 
     } else {
         let (fault, m) = random_fault_miter(&base.aig, rng.gen());
         Some(Instance {
-            name: format!("atpg_{:04}_{}_sa{}_{}_u", idx, base.name, fault.value as u8, fault.node),
+            name: format!(
+                "atpg_{:04}_{}_sa{}_{}_u",
+                idx, base.name, fault.value as u8, fault.node
+            ),
             kind: InstanceKind::Atpg,
             aig: m,
             expected: None,
@@ -211,14 +246,29 @@ fn hard_lec(rng: &mut StdRng, idx: usize, fam: usize, d: usize) -> Option<Instan
     let adder_bits = rng.gen_range(72..=96 + 48 * d);
     let mul_bits = rng.gen_range(5..=5 + d.min(4));
     let (a, b): (Block, Block) = match fam {
-        0 => (ripple_carry_adder(adder_bits), carry_lookahead_adder(adder_bits)),
-        1 => (carry_lookahead_adder(adder_bits), carry_select_adder(adder_bits, 4)),
-        2 => (ripple_carry_adder(adder_bits), carry_select_adder(adder_bits, 3)),
+        0 => (
+            ripple_carry_adder(adder_bits),
+            carry_lookahead_adder(adder_bits),
+        ),
+        1 => (
+            carry_lookahead_adder(adder_bits),
+            carry_select_adder(adder_bits, 4),
+        ),
+        2 => (
+            ripple_carry_adder(adder_bits),
+            carry_select_adder(adder_bits, 3),
+        ),
         3 => {
             let bits = rng.gen_range(24..=24 + 16 * d);
             let base = alu(bits);
             let re = restructure(&base.aig, rng.gen());
-            (base.clone(), Block { aig: re, name: format!("{}r", base.name) })
+            (
+                base.clone(),
+                Block {
+                    aig: re,
+                    name: format!("{}r", base.name),
+                },
+            )
         }
         _ => (array_multiplier(mul_bits), column_multiplier(mul_bits)),
     };
@@ -250,12 +300,18 @@ fn hard_atpg(rng: &mut StdRng, idx: usize, fam: usize, d: usize) -> Option<Insta
             // Redundancy identification: faults inside restructured logic
             // are often untestable, yielding hard UNSAT ATPG instances.
             let b = comparator_lt(rng.gen_range(24..=24 + 16 * d));
-            Block { aig: restructure(&b.aig, rng.gen()), name: format!("{}r", b.name) }
+            Block {
+                aig: restructure(&b.aig, rng.gen()),
+                name: format!("{}r", b.name),
+            }
         }
     };
     let (fault, m) = random_fault_miter(&base.aig, rng.gen());
     Some(Instance {
-        name: format!("hatpg_{:04}_{}_sa{}_{}", idx, base.name, fault.value as u8, fault.node),
+        name: format!(
+            "hatpg_{:04}_{}_sa{}_{}",
+            idx, base.name, fault.value as u8, fault.node
+        ),
         kind: InstanceKind::Atpg,
         aig: m,
         expected: None,
@@ -307,13 +363,25 @@ pub fn generate_extended(params: &DatasetParams, seed: u64) -> Vec<Instance> {
                     _ => gray_roundtrip(bits.min(48)),
                 };
                 let re = restructure(&base.aig, irng.gen());
-                (base.clone(), Block { aig: re, name: format!("{}r", base.name) })
+                (
+                    base.clone(),
+                    Block {
+                        aig: re,
+                        name: format!("{}r", base.name),
+                    },
+                )
             }
             _ => {
                 let k = (3 + bits % 2).min(5);
                 let base = rotator_log(k);
                 let re = restructure(&base.aig, irng.gen());
-                (base.clone(), Block { aig: re, name: format!("{}r", base.name) })
+                (
+                    base.clone(),
+                    Block {
+                        aig: re,
+                        name: format!("{}r", base.name),
+                    },
+                )
             }
         };
         let inst = if irng.gen_bool(0.5) {
@@ -352,7 +420,11 @@ pub struct InstanceStats {
 
 /// Computes Table-I-style statistics for one instance.
 pub fn instance_stats(aig: &Aig) -> InstanceStats {
-    InstanceStats { gates: aig.num_ands(), pis: aig.num_pis(), depth: aig.depth() }
+    InstanceStats {
+        gates: aig.num_ands(),
+        pis: aig.num_pis(),
+        depth: aig.depth(),
+    }
 }
 
 #[cfg(test)]
@@ -391,7 +463,15 @@ mod tests {
     #[test]
     fn expected_sat_instances_have_witness() {
         // Verify via bounded exhaustive/random evaluation on small ones.
-        let set = generate(&DatasetParams { count: 12, min_bits: 4, max_bits: 6, hard_multipliers: false }, 9);
+        let set = generate(
+            &DatasetParams {
+                count: 12,
+                min_bits: 4,
+                max_bits: 6,
+                hard_multipliers: false,
+            },
+            9,
+        );
         for inst in set.iter().filter(|i| i.expected == Some(true)) {
             let n = inst.aig.num_pis();
             if n <= 14 {
@@ -409,7 +489,12 @@ mod tests {
 
     #[test]
     fn extended_generation_is_deterministic_and_well_formed() {
-        let p = DatasetParams { count: 14, min_bits: 6, max_bits: 12, hard_multipliers: false };
+        let p = DatasetParams {
+            count: 14,
+            min_bits: 6,
+            max_bits: 12,
+            hard_multipliers: false,
+        };
         let a = generate_extended(&p, 123);
         let b = generate_extended(&p, 123);
         assert_eq!(a.len(), 14);
@@ -419,14 +504,23 @@ mod tests {
             assert_eq!(x.aig.num_pos(), 1, "{}", x.name);
         }
         // The family rotation must actually reach the new generators.
-        assert!(a.iter().any(|i| i.name.contains("ks") || i.name.contains("bk")));
-        assert!(a.iter().any(|i| i.name.contains("wal") || i.name.contains("dad")));
+        assert!(a
+            .iter()
+            .any(|i| i.name.contains("ks") || i.name.contains("bk")));
+        assert!(a
+            .iter()
+            .any(|i| i.name.contains("wal") || i.name.contains("dad")));
         assert!(a.iter().any(|i| i.name.contains("bsh")));
     }
 
     #[test]
     fn extended_unsat_miters_verified_by_simulation() {
-        let p = DatasetParams { count: 10, min_bits: 4, max_bits: 7, hard_multipliers: false };
+        let p = DatasetParams {
+            count: 10,
+            min_bits: 4,
+            max_bits: 7,
+            hard_multipliers: false,
+        };
         let set = generate_extended(&p, 7);
         for inst in set.iter().filter(|i| i.expected == Some(false)) {
             // UNSAT miters must never fire under random simulation.

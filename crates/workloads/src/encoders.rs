@@ -36,7 +36,10 @@ pub fn priority_encoder(n: usize) -> Block {
     }
     let valid = g.or_many(&req);
     g.add_po(valid);
-    Block { aig: g, name: format!("prio{n}") }
+    Block {
+        aig: g,
+        name: format!("prio{n}"),
+    }
 }
 
 /// Population count: `n` inputs, `ceil(log2(n+1))` output bits holding the
@@ -67,7 +70,10 @@ pub fn popcount(n: usize) -> Block {
     for bit in word {
         g.add_po(bit);
     }
-    Block { aig: g, name: format!("pop{n}") }
+    Block {
+        aig: g,
+        name: format!("pop{n}"),
+    }
 }
 
 /// Ripple addition of two little-endian words of possibly different width,
@@ -96,10 +102,17 @@ pub fn bin_to_gray(n: usize) -> Block {
     let mut g = Aig::new();
     let b = g.add_pis(n);
     for i in 0..n {
-        let out = if i + 1 < n { g.xor(b[i], b[i + 1]) } else { b[i] };
+        let out = if i + 1 < n {
+            g.xor(b[i], b[i + 1])
+        } else {
+            b[i]
+        };
         g.add_po(out);
     }
-    Block { aig: g, name: format!("b2g{n}") }
+    Block {
+        aig: g,
+        name: format!("b2g{n}"),
+    }
 }
 
 /// Gray-to-binary converter: `b_i = g_i ⊕ g_{i+1} ⊕ … ⊕ g_{n-1}` —
@@ -117,7 +130,10 @@ pub fn gray_to_bin(n: usize) -> Block {
     for out in outs {
         g.add_po(out);
     }
-    Block { aig: g, name: format!("g2b{n}") }
+    Block {
+        aig: g,
+        name: format!("g2b{n}"),
+    }
 }
 
 /// The composition `gray_to_bin(bin_to_gray(x))`: functionally the
@@ -128,8 +144,15 @@ pub fn gray_roundtrip(n: usize) -> Block {
     let mut g = Aig::new();
     let b = g.add_pis(n);
     // bin -> gray.
-    let gray: Vec<Lit> =
-        (0..n).map(|i| if i + 1 < n { g.xor(b[i], b[i + 1]) } else { b[i] }).collect();
+    let gray: Vec<Lit> = (0..n)
+        .map(|i| {
+            if i + 1 < n {
+                g.xor(b[i], b[i + 1])
+            } else {
+                b[i]
+            }
+        })
+        .collect();
     // gray -> bin.
     let mut suffix = Lit::FALSE;
     let mut outs = vec![Lit::FALSE; n];
@@ -140,7 +163,10 @@ pub fn gray_roundtrip(n: usize) -> Block {
     for out in outs {
         g.add_po(out);
     }
-    Block { aig: g, name: format!("grt{n}") }
+    Block {
+        aig: g,
+        name: format!("grt{n}"),
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +174,9 @@ mod tests {
     use super::*;
 
     fn num(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
     }
 
     #[test]
@@ -161,7 +189,11 @@ mod tests {
             let (index_bits, valid) = out.split_at(out.len() - 1);
             assert_eq!(valid[0], mask != 0, "mask={mask:#b}");
             if mask != 0 {
-                assert_eq!(num(index_bits), mask.trailing_zeros() as u64, "mask={mask:#b}");
+                assert_eq!(
+                    num(index_bits),
+                    mask.trailing_zeros() as u64,
+                    "mask={mask:#b}"
+                );
             }
         }
     }
@@ -172,7 +204,11 @@ mod tests {
             let blk = popcount(n);
             for mask in 0..(1u64 << n) {
                 let ins: Vec<bool> = (0..n).map(|i| mask >> i & 1 != 0).collect();
-                assert_eq!(num(&blk.aig.eval(&ins)), mask.count_ones() as u64, "n={n} mask={mask:#b}");
+                assert_eq!(
+                    num(&blk.aig.eval(&ins)),
+                    mask.count_ones() as u64,
+                    "n={n} mask={mask:#b}"
+                );
             }
         }
     }

@@ -24,8 +24,11 @@ pub fn miter(a: &Aig, b: &Aig) -> Aig {
     let pis = g.add_pis(a.num_pis());
     let outs_a = copy_into(a, &mut g, &pis);
     let outs_b = copy_into(b, &mut g, &pis);
-    let xors: Vec<Lit> =
-        outs_a.iter().zip(&outs_b).map(|(&x, &y)| g.xor(x, y)).collect();
+    let xors: Vec<Lit> = outs_a
+        .iter()
+        .zip(&outs_b)
+        .map(|(&x, &y)| g.xor(x, y))
+        .collect();
     let out = g.or_many(&xors);
     g.add_po(out);
     g
@@ -45,7 +48,10 @@ pub fn copy_into(src: &Aig, g: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
         let f1 = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
         map[v as usize] = g.and(f0, f1);
     }
-    src.pos().iter().map(|po| map[po.var() as usize].xor_compl(po.is_compl())).collect()
+    src.pos()
+        .iter()
+        .map(|po| map[po.var() as usize].xor_compl(po.is_compl()))
+        .collect()
 }
 
 /// Injects a random single-gate bug: one AND gate's fanin edge polarity is
@@ -166,7 +172,10 @@ mod tests {
         let a = ripple_carry_adder(4);
         let r = restructure(&a.aig, 3);
         assert!(exhaustive_equiv(&a.aig, &r));
-        assert!(r.num_ands() >= a.aig.num_ands(), "redundancy should not shrink");
+        assert!(
+            r.num_ands() >= a.aig.num_ands(),
+            "redundancy should not shrink"
+        );
     }
 
     #[test]

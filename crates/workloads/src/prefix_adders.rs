@@ -19,14 +19,20 @@ struct Gp {
 /// Prefix combine: `(g_hi, p_hi) ∘ (g_lo, p_lo)`.
 fn combine(aig: &mut Aig, hi: Gp, lo: Gp) -> Gp {
     let t = aig.and(hi.p, lo.g);
-    Gp { g: aig.or(hi.g, t), p: aig.and(hi.p, lo.p) }
+    Gp {
+        g: aig.or(hi.g, t),
+        p: aig.and(hi.p, lo.p),
+    }
 }
 
 /// Leaf generate/propagate terms for `a + b`.
 fn leaves(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Gp> {
     a.iter()
         .zip(b)
-        .map(|(&ai, &bi)| Gp { g: aig.and(ai, bi), p: aig.xor(ai, bi) })
+        .map(|(&ai, &bi)| Gp {
+            g: aig.and(ai, bi),
+            p: aig.xor(ai, bi),
+        })
         .collect()
 }
 
@@ -65,7 +71,10 @@ pub fn kogge_stone_adder(n: usize) -> Block {
         dist *= 2;
     }
     emit_sums(&mut g, &leaf, &pre);
-    Block { aig: g, name: format!("ks{n}") }
+    Block {
+        aig: g,
+        name: format!("ks{n}"),
+    }
 }
 
 /// Brent–Kung adder: minimal wiring, ~`2·log2(n)` levels — an up-sweep
@@ -101,7 +110,10 @@ pub fn brent_kung_adder(n: usize) -> Block {
         span /= 2;
     }
     emit_sums(&mut g, &leaf, &pre);
-    Block { aig: g, name: format!("bk{n}") }
+    Block {
+        aig: g,
+        name: format!("bk{n}"),
+    }
 }
 
 /// Sklansky (divide-and-conquer) adder: `log2(n)` levels with high-fanout
@@ -129,7 +141,10 @@ pub fn sklansky_adder(n: usize) -> Block {
         span = step;
     }
     emit_sums(&mut g, &leaf, &pre);
-    Block { aig: g, name: format!("sk{n}") }
+    Block {
+        aig: g,
+        name: format!("sk{n}"),
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +154,9 @@ mod tests {
     use aig::check::exhaustive_equiv;
 
     fn num(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
     }
 
     fn check_adds(blk: &Block, n: usize) {
@@ -152,7 +169,12 @@ mod tests {
                 for i in 0..n {
                     ins.push(bv >> i & 1 != 0);
                 }
-                assert_eq!(num(&blk.aig.eval(&ins)), av + bv, "{} a={av} b={bv}", blk.name);
+                assert_eq!(
+                    num(&blk.aig.eval(&ins)),
+                    av + bv,
+                    "{} a={av} b={bv}",
+                    blk.name
+                );
             }
         }
     }

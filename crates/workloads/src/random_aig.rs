@@ -23,7 +23,13 @@ pub struct RandomAigParams {
 
 impl Default for RandomAigParams {
     fn default() -> RandomAigParams {
-        RandomAigParams { n_pis: 16, n_gates: 200, n_pos: 2, compl_prob: 0.5, window: 32 }
+        RandomAigParams {
+            n_pis: 16,
+            n_gates: 200,
+            n_pos: 2,
+            compl_prob: 0.5,
+            window: 32,
+        }
     }
 }
 
@@ -82,7 +88,12 @@ mod tests {
 
     #[test]
     fn respects_shape() {
-        let p = RandomAigParams { n_pis: 10, n_gates: 300, n_pos: 4, ..Default::default() };
+        let p = RandomAigParams {
+            n_pis: 10,
+            n_gates: 300,
+            n_pos: 4,
+            ..Default::default()
+        };
         let g = random_aig(&p, 1);
         assert_eq!(g.num_pis(), 10);
         assert_eq!(g.num_pos(), 4);
@@ -92,13 +103,26 @@ mod tests {
     #[test]
     fn windowed_generation_is_deep() {
         let deep = random_aig(
-            &RandomAigParams { window: 4, n_gates: 300, ..Default::default() },
+            &RandomAigParams {
+                window: 4,
+                n_gates: 300,
+                ..Default::default()
+            },
             5,
         );
         let shallow = random_aig(
-            &RandomAigParams { window: 0, n_gates: 300, ..Default::default() },
+            &RandomAigParams {
+                window: 0,
+                n_gates: 300,
+                ..Default::default()
+            },
             5,
         );
-        assert!(deep.depth() > shallow.depth(), "{} vs {}", deep.depth(), shallow.depth());
+        assert!(
+            deep.depth() > shallow.depth(),
+            "{} vs {}",
+            deep.depth(),
+            shallow.depth()
+        );
     }
 }

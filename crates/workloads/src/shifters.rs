@@ -20,7 +20,11 @@ pub fn barrel_shifter_log(k: usize) -> Block {
         let shift = 1usize << stage;
         let mut next = Vec::with_capacity(n);
         for i in 0..n {
-            let shifted = if i >= shift { layer[i - shift] } else { Lit::FALSE };
+            let shifted = if i >= shift {
+                layer[i - shift]
+            } else {
+                Lit::FALSE
+            };
             next.push(g.mux(s, shifted, layer[i]));
         }
         layer = next;
@@ -28,7 +32,10 @@ pub fn barrel_shifter_log(k: usize) -> Block {
     for l in layer {
         g.add_po(l);
     }
-    Block { aig: g, name: format!("bshl{n}") }
+    Block {
+        aig: g,
+        name: format!("bshl{n}"),
+    }
 }
 
 /// Decoded left-shifter: one-hot decode of the amount, then
@@ -50,7 +57,10 @@ pub fn barrel_shifter_decoded(k: usize) -> Block {
         let out = g.or_many(&terms);
         g.add_po(out);
     }
-    Block { aig: g, name: format!("bshd{n}") }
+    Block {
+        aig: g,
+        name: format!("bshd{n}"),
+    }
 }
 
 /// Logarithmic left-rotator: like [`barrel_shifter_log`] but bits wrap
@@ -73,7 +83,10 @@ pub fn rotator_log(k: usize) -> Block {
     for l in layer {
         g.add_po(l);
     }
-    Block { aig: g, name: format!("rotl{n}") }
+    Block {
+        aig: g,
+        name: format!("rotl{n}"),
+    }
 }
 
 /// One-hot decoder of a `k`-bit binary amount into `2^k` lines.
@@ -114,7 +127,11 @@ mod tests {
         for data in [0u64, 1, 0x5a, 0xff, 0x81] {
             for amount in 0..(1u64 << k) {
                 let expect = (data << amount) & ((1 << n) - 1);
-                assert_eq!(drive(&blk, n, k, data, amount), expect, "d={data:#x} a={amount}");
+                assert_eq!(
+                    drive(&blk, n, k, data, amount),
+                    expect,
+                    "d={data:#x} a={amount}"
+                );
             }
         }
     }
@@ -135,9 +152,13 @@ mod tests {
         let blk = rotator_log(k);
         for data in [0x01u64, 0xa5, 0x80] {
             for amount in 0..(1u64 << k) {
-                let expect = ((data << amount) | (data >> (n as u64 - amount) % n as u64))
+                let expect = ((data << amount) | (data >> ((n as u64 - amount) % n as u64)))
                     & ((1 << n) - 1);
-                assert_eq!(drive(&blk, n, k, data, amount), expect, "d={data:#x} a={amount}");
+                assert_eq!(
+                    drive(&blk, n, k, data, amount),
+                    expect,
+                    "d={data:#x} a={amount}"
+                );
             }
         }
     }

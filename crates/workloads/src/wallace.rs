@@ -97,7 +97,10 @@ pub fn wallace_multiplier(n: usize) -> Block {
         columns = next;
     }
     final_ripple(&mut g, columns);
-    Block { aig: g, name: format!("wal{n}") }
+    Block {
+        aig: g,
+        name: format!("wal{n}"),
+    }
 }
 
 /// Dadda-sequence heights: 2, 3, 4, 6, 9, 13, … (each ⌊3/2⌋× the last).
@@ -152,7 +155,10 @@ pub fn dadda_multiplier(n: usize) -> Block {
         }
     }
     final_ripple(&mut g, columns);
-    Block { aig: g, name: format!("dad{n}") }
+    Block {
+        aig: g,
+        name: format!("dad{n}"),
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +168,9 @@ mod tests {
     use aig::check::exhaustive_equiv;
 
     fn num(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
     }
 
     fn check_multiplies(blk: &Block, n: usize) {
@@ -175,7 +183,12 @@ mod tests {
                 for i in 0..n {
                     ins.push(bv >> i & 1 != 0);
                 }
-                assert_eq!(num(&blk.aig.eval(&ins)), av * bv, "{} a={av} b={bv}", blk.name);
+                assert_eq!(
+                    num(&blk.aig.eval(&ins)),
+                    av * bv,
+                    "{} a={av} b={bv}",
+                    blk.name
+                );
             }
         }
     }

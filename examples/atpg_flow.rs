@@ -14,7 +14,12 @@ use workloads::datapath::alu;
 
 fn main() {
     let blk = alu(8);
-    println!("circuit: {} — {} gates, {} PIs", blk.name, blk.aig.num_ands(), blk.aig.num_pis());
+    println!(
+        "circuit: {} — {} gates, {} PIs",
+        blk.name,
+        blk.aig.num_ands(),
+        blk.aig.num_pis()
+    );
 
     let ours = FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()));
     let mut patterns = 0usize;
@@ -30,14 +35,19 @@ fn main() {
 
             // Baseline run (for the branching comparison).
             let pre = BaselinePipeline.preprocess(&m);
-            let (res_b, stats_b) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+            let (res_b, stats_b) =
+                solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
             base_decisions += stats_b.decisions;
 
             // Framework run: same verdict, typically fewer branchings.
             let pre = ours.preprocess(&m);
             let (res, stats) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
             ours_decisions += stats.decisions;
-            assert_eq!(res.is_sat(), res_b.is_sat(), "pipelines must agree on testability");
+            assert_eq!(
+                res.is_sat(),
+                res_b.is_sat(),
+                "pipelines must agree on testability"
+            );
 
             match res {
                 sat::SolveResult::Sat(model) => {

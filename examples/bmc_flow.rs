@@ -61,7 +61,9 @@ fn main() {
 
     let pipelines: Vec<Box<dyn Pipeline>> = vec![
         Box::new(BaselinePipeline),
-        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()))),
+        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
+            Recipe::size_script(),
+        ))),
     ];
 
     println!(
@@ -74,8 +76,7 @@ fn main() {
         let mut verdict = "?";
         for p in &pipelines {
             let pre = p.preprocess(&instance);
-            let (res, stats) =
-                solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+            let (res, stats) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
             verdict = match &res {
                 sat::SolveResult::Sat(model) => {
                     let ins = pre.decoder.decode_inputs(model);
@@ -85,7 +86,11 @@ fn main() {
                 sat::SolveResult::Unsat => "UNSAT",
                 sat::SolveResult::Unknown => "TO",
             };
-            cells.push(format!("{:>10}/{:<11}", pre.cnf.num_vars(), stats.decisions));
+            cells.push(format!(
+                "{:>10}/{:<11}",
+                pre.cnf.num_vars(),
+                stats.decisions
+            ));
         }
         println!(
             "{:>5} {:>7} {:>9} | {} | {}",

@@ -16,7 +16,13 @@ fn main() {
     let n = 5;
     let a = array_multiplier(n);
     let b = column_multiplier(n);
-    println!("LEC: {} ({} gates) vs {} ({} gates)", a.name, a.aig.num_ands(), b.name, b.aig.num_ands());
+    println!(
+        "LEC: {} ({} gates) vs {} ({} gates)",
+        a.name,
+        a.aig.num_ands(),
+        b.name,
+        b.aig.num_ands()
+    );
 
     // Case 1: the architectures are equivalent -> UNSAT proof.
     let eq_miter = miter(&a.aig, &b.aig);
@@ -30,11 +36,17 @@ fn main() {
 }
 
 fn run_all(label: &str, instance: &aig::Aig) {
-    println!("\n== {label} miter: {} gates, {} PIs ==", instance.num_ands(), instance.num_pis());
+    println!(
+        "\n== {label} miter: {} gates, {} PIs ==",
+        instance.num_ands(),
+        instance.num_pis()
+    );
     let pipelines: Vec<Box<dyn Pipeline>> = vec![
         Box::new(BaselinePipeline),
         Box::new(CompPipeline::default()),
-        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()))),
+        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
+            Recipe::size_script(),
+        ))),
     ];
     for p in &pipelines {
         let pre = p.preprocess(instance);
@@ -45,7 +57,11 @@ fn run_all(label: &str, instance: &aig::Aig) {
             sat::SolveResult::Sat(model) => {
                 // Validate the counterexample against the original miter.
                 let ins = pre.decoder.decode_inputs(model);
-                assert_eq!(instance.eval(&ins), vec![true], "model must be a real witness");
+                assert_eq!(
+                    instance.eval(&ins),
+                    vec![true],
+                    "model must be a real witness"
+                );
                 "SAT (witness validated)"
             }
             sat::SolveResult::Unsat => "UNSAT (equivalence proved)",

@@ -30,7 +30,12 @@ fn main() {
     );
 
     // Pipeline comparison on a slice of the extended dataset.
-    let params = DatasetParams { count: 6, min_bits: 8, max_bits: 16, hard_multipliers: false };
+    let params = DatasetParams {
+        count: 6,
+        min_bits: 8,
+        max_bits: 16,
+        hard_multipliers: false,
+    };
     let set = generate_extended(&params, 2026);
     let policy = || RecipePolicy::Fixed(Recipe::size_script());
     let plain = FrameworkPipeline::ours(policy());
@@ -45,10 +50,15 @@ fn main() {
         let mut clauses = Vec::new();
         for p in [&BaselinePipeline as &dyn Pipeline, &plain, &swept] {
             let pre = p.preprocess(&inst.aig);
-            let (res, stats) =
-                solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
+            let (res, stats) = solve_cnf(&pre.cnf, SolverConfig::kissat_like(), Budget::UNLIMITED);
             if let Some(expected) = inst.expected {
-                assert_eq!(res.is_sat(), expected, "{}: {} broke the verdict", inst.name, p.name());
+                assert_eq!(
+                    res.is_sat(),
+                    expected,
+                    "{}: {} broke the verdict",
+                    inst.name,
+                    p.name()
+                );
             }
             if let sat::SolveResult::Sat(model) = &res {
                 let ins = pre.decoder.decode_inputs(model);

@@ -1,0 +1,87 @@
+//! Workspace smoke test: every example in `examples/` must build, and
+//! `quickstart.rs` must run to completion.
+//!
+//! The examples are attached to the `bench` crate (the only member that
+//! depends on every other member), so `cargo build --examples -p bench`
+//! covers all of them. These tests shell out to the same cargo binary that
+//! is running the test-suite; the workspace target-dir lock serialises the
+//! nested invocations against any concurrently running cargo.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // tests/ is a direct child of the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ has a parent")
+}
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(workspace_root());
+    cmd
+}
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "lec_flow",
+    "bmc_flow",
+    "atpg_flow",
+    "sweep_flow",
+    "train_agent",
+];
+
+#[test]
+fn all_examples_build() {
+    let out = cargo()
+        .args(["build", "--examples", "-p", "bench"])
+        .output()
+        .expect("cargo build --examples must spawn");
+    assert!(
+        out.status.success(),
+        "examples failed to build:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Belt and braces: the list above must stay in sync with examples/.
+    for example in EXAMPLES {
+        let src = workspace_root()
+            .join("examples")
+            .join(format!("{example}.rs"));
+        assert!(src.is_file(), "missing example source {}", src.display());
+    }
+    let on_disk = std::fs::read_dir(workspace_root().join("examples"))
+        .expect("examples/ must exist")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "rs")
+        })
+        .count();
+    assert_eq!(
+        on_disk,
+        EXAMPLES.len(),
+        "examples/ and EXAMPLES list out of sync"
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "-q", "--example", "quickstart", "-p", "bench"])
+        .output()
+        .expect("cargo run --example quickstart must spawn");
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("baseline") && stdout.contains("ours"),
+        "quickstart output missing the baseline/ours comparison:\n{stdout}"
+    );
+}

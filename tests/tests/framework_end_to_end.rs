@@ -14,14 +14,25 @@ use workloads::dataset::{generate, generate_hard, DatasetParams};
 fn miniature_paper_run() {
     // Train on a handful of easy instances.
     let train = generate(
-        &DatasetParams { count: 6, min_bits: 4, max_bits: 7, hard_multipliers: false },
+        &DatasetParams {
+            count: 6,
+            min_bits: 4,
+            max_bits: 7,
+            hard_multipliers: false,
+        },
         11,
     );
     let instances: Vec<aig::Aig> = train.iter().map(|i| i.aig.clone()).collect();
     let cfg = TrainConfig {
         episodes: 20,
-        env: EnvConfig { budget: Budget::conflicts(5_000), ..EnvConfig::default() },
-        dqn: DqnConfig { eps_decay_steps: 100, ..DqnConfig::default() },
+        env: EnvConfig {
+            budget: Budget::conflicts(5_000),
+            ..EnvConfig::default()
+        },
+        dqn: DqnConfig {
+            eps_decay_steps: 100,
+            ..DqnConfig::default()
+        },
         seed: 3,
     };
     let (agent, stats) = train_agent(&instances, &cfg);
@@ -29,14 +40,21 @@ fn miniature_paper_run() {
 
     // Deploy all arms on a small test set.
     let test = generate(
-        &DatasetParams { count: 6, min_bits: 5, max_bits: 8, hard_multipliers: false },
+        &DatasetParams {
+            count: 6,
+            min_bits: 5,
+            max_bits: 8,
+            hard_multipliers: false,
+        },
         99,
     );
     let solver = SolverConfig::kissat_like();
     let budget = Budget::conflicts(100_000);
     let arms: Vec<Box<dyn Pipeline>> = vec![
         Box::new(BaselinePipeline),
-        Box::new(FrameworkPipeline::ours(RecipePolicy::Agent(Box::new(agent)))),
+        Box::new(FrameworkPipeline::ours(RecipePolicy::Agent(Box::new(
+            agent,
+        )))),
         Box::new(FrameworkPipeline::without_rl(1, 4)),
         Box::new(FrameworkPipeline::conventional_mapper(RecipePolicy::Fixed(
             synth::Recipe::size_script(),
@@ -48,7 +66,12 @@ fn miniature_paper_run() {
         // All models valid, no unexpected statuses.
         for r in &records {
             if let Status::Sat { model_valid } = r.status {
-                assert!(model_valid, "{}: invalid model in {}", r.instance, arm.name());
+                assert!(
+                    model_valid,
+                    "{}: invalid model in {}",
+                    r.instance,
+                    arm.name()
+                );
             }
         }
         // Cactus series is consistent with the record set.
@@ -68,7 +91,12 @@ fn branching_measurement_improves_with_resub_on_redundant_logic() {
     let env = EnvConfig::default();
     let before = measure_branchings(&inst, &env.mapper, &env.solver, Budget::conflicts(200_000));
     let optimised = synth::apply_recipe(&inst, &[synth::SynthOp::Resub, synth::SynthOp::Resub]);
-    let after = measure_branchings(&optimised, &env.mapper, &env.solver, Budget::conflicts(200_000));
+    let after = measure_branchings(
+        &optimised,
+        &env.mapper,
+        &env.solver,
+        Budget::conflicts(200_000),
+    );
     assert!(
         after <= before,
         "resub on a redundancy-miter must not increase branchings: {before} -> {after}"
@@ -78,7 +106,12 @@ fn branching_measurement_improves_with_resub_on_redundant_logic() {
 #[test]
 fn hard_split_is_harder_than_easy_split() {
     let easy = generate(
-        &DatasetParams { count: 4, min_bits: 4, max_bits: 6, hard_multipliers: false },
+        &DatasetParams {
+            count: 4,
+            min_bits: 4,
+            max_bits: 6,
+            hard_multipliers: false,
+        },
         5,
     );
     let hard = generate_hard(4, 5, 1);

@@ -20,12 +20,21 @@ fn exhaustive_agree(aig: &Aig, net: &cnf::LutNetlist) {
 
 #[test]
 fn mapping_equivalent_on_datapath_all_costs_and_k() {
-    let circuits: Vec<Aig> =
-        vec![alu(4).aig, array_multiplier(3).aig, carry_lookahead_adder(5).aig, parity(9).aig];
+    let circuits: Vec<Aig> = vec![
+        alu(4).aig,
+        array_multiplier(3).aig,
+        carry_lookahead_adder(5).aig,
+        parity(9).aig,
+    ];
     for c in &circuits {
         for k in [3usize, 4, 6] {
             for slack in [Some(0), Some(2), None] {
-                let params = MapParams { k, max_cuts: 8, rounds: 2, depth_slack: slack };
+                let params = MapParams {
+                    k,
+                    max_cuts: 8,
+                    rounds: 2,
+                    depth_slack: slack,
+                };
                 let a = map_luts(c, &params, &AreaCost);
                 exhaustive_agree(c, &a);
                 let b = map_luts(c, &params, &BranchingCost::new());
@@ -95,24 +104,48 @@ fn depth_constraint_bounds_lut_levels() {
     // Unconstrained mapping may be deeper than the constrained one.
     let tight = map_luts(
         &c,
-        &MapParams { k, max_cuts: 8, rounds: 2, depth_slack: Some(0) },
+        &MapParams {
+            k,
+            max_cuts: 8,
+            rounds: 2,
+            depth_slack: Some(0),
+        },
         &BranchingCost::new(),
     );
     let loose = map_luts(
         &c,
-        &MapParams { k, max_cuts: 8, rounds: 2, depth_slack: None },
+        &MapParams {
+            k,
+            max_cuts: 8,
+            rounds: 2,
+            depth_slack: None,
+        },
         &BranchingCost::new(),
     );
-    assert!(net_depth(&tight) <= net_depth(&loose), "{} > {}", net_depth(&tight), net_depth(&loose));
+    assert!(
+        net_depth(&tight) <= net_depth(&loose),
+        "{} > {}",
+        net_depth(&tight),
+        net_depth(&loose)
+    );
 }
 
 fn net_depth(net: &cnf::LutNetlist) -> u32 {
     let mut level = vec![0u32; net.num_inputs() + net.num_luts()];
     for (i, lut) in net.luts().iter().enumerate() {
-        let l = 1 + lut.fanins.iter().map(|f| level[f.node as usize]).max().unwrap_or(0);
+        let l = 1 + lut
+            .fanins
+            .iter()
+            .map(|f| level[f.node as usize])
+            .max()
+            .unwrap_or(0);
         level[net.num_inputs() + i] = l;
     }
-    net.outputs().iter().map(|s| level[s.node as usize]).max().unwrap_or(0)
+    net.outputs()
+        .iter()
+        .map(|s| level[s.node as usize])
+        .max()
+        .unwrap_or(0)
 }
 
 #[test]

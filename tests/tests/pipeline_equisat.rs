@@ -12,7 +12,9 @@ fn pipelines() -> Vec<Box<dyn Pipeline>> {
     vec![
         Box::new(BaselinePipeline),
         Box::new(CompPipeline::default()),
-        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()))),
+        Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
+            Recipe::size_script(),
+        ))),
         Box::new(FrameworkPipeline::ours(RecipePolicy::Fixed(
             "rs;rs".parse::<Recipe>().expect("valid recipe"),
         ))),
@@ -30,7 +32,12 @@ fn pipelines() -> Vec<Box<dyn Pipeline>> {
 #[test]
 fn all_pipelines_agree_on_verdicts() {
     let set = generate(
-        &DatasetParams { count: 8, min_bits: 4, max_bits: 7, hard_multipliers: false },
+        &DatasetParams {
+            count: 8,
+            min_bits: 4,
+            max_bits: 7,
+            hard_multipliers: false,
+        },
         0xBEEF,
     );
     let pipes = pipelines();
@@ -71,7 +78,12 @@ fn all_pipelines_agree_on_verdicts() {
 #[test]
 fn all_pipelines_agree_on_extended_families() {
     let set = generate_extended(
-        &DatasetParams { count: 7, min_bits: 4, max_bits: 8, hard_multipliers: false },
+        &DatasetParams {
+            count: 7,
+            min_bits: 4,
+            max_bits: 8,
+            hard_multipliers: false,
+        },
         0xD00D,
     );
     let pipes = pipelines();
@@ -111,7 +123,12 @@ fn all_pipelines_agree_on_extended_families() {
 fn framework_cnf_is_smaller_in_variables() {
     // The LUT encoding must hide internal nodes on non-trivial instances.
     let set = generate(
-        &DatasetParams { count: 6, min_bits: 8, max_bits: 12, hard_multipliers: false },
+        &DatasetParams {
+            count: 6,
+            min_bits: 8,
+            max_bits: 12,
+            hard_multipliers: false,
+        },
         0xFACE,
     );
     let ours = FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()));
@@ -131,7 +148,12 @@ fn framework_cnf_is_smaller_in_variables() {
 #[test]
 fn preprocessing_time_is_recorded() {
     let set = generate(
-        &DatasetParams { count: 2, min_bits: 6, max_bits: 8, hard_multipliers: false },
+        &DatasetParams {
+            count: 2,
+            min_bits: 6,
+            max_bits: 8,
+            hard_multipliers: false,
+        },
         0xAA,
     );
     let p = FrameworkPipeline::ours(RecipePolicy::Fixed(Recipe::size_script()));

@@ -61,7 +61,12 @@ fn mixed_length_clauses_cross_checked() {
 #[test]
 fn verdicts_match_instance_labels() {
     let set = generate(
-        &DatasetParams { count: 9, min_bits: 4, max_bits: 8, hard_multipliers: false },
+        &DatasetParams {
+            count: 9,
+            min_bits: 4,
+            max_bits: 8,
+            hard_multipliers: false,
+        },
         0x5A5A,
     );
     for inst in &set {
@@ -98,7 +103,11 @@ fn budget_is_respected_and_resumable() {
     }
     let mut solver = Solver::from_cnf(&f, SolverConfig::kissat_like());
     solver.set_budget(Budget::conflicts(50));
-    assert_eq!(solver.solve(), SolveResult::Unknown, "tiny budget must interrupt");
+    assert_eq!(
+        solver.solve(),
+        SolveResult::Unknown,
+        "tiny budget must interrupt"
+    );
     assert!(solver.stats().conflicts >= 50);
     // Lifting the budget and re-solving completes the proof.
     solver.set_budget(Budget::UNLIMITED);
@@ -110,7 +119,12 @@ fn decision_counts_differ_between_encodings() {
     // The branching metric must be sensitive to the encoding — otherwise
     // the whole framework would be unobservable.
     let set = generate(
-        &DatasetParams { count: 5, min_bits: 8, max_bits: 10, hard_multipliers: false },
+        &DatasetParams {
+            count: 5,
+            min_bits: 8,
+            max_bits: 10,
+            hard_multipliers: false,
+        },
         77,
     );
     let mut any_diff = false;

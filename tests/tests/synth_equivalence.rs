@@ -73,8 +73,9 @@ fn long_random_recipes_proved_equivalent() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     let g = random_aig(99, 12, 200);
     for trial in 0..3 {
-        let ops: Vec<SynthOp> =
-            (0..8).map(|_| SynthOp::ALL[rng.gen_range(0..SynthOp::ALL.len())]).collect();
+        let ops: Vec<SynthOp> = (0..8)
+            .map(|_| SynthOp::ALL[rng.gen_range(0..SynthOp::ALL.len())])
+            .collect();
         let h = apply_recipe(&g, &ops);
         assert!(prove_equivalent(&g, &h), "trial {trial} ops {ops:?}");
     }
@@ -116,7 +117,11 @@ fn fraig_collapses_datapath_equivalence_miters() {
     // structurally (constant-false PO) on its own.
     let m = miter(&ripple_carry_adder(8).aig, &carry_lookahead_adder(8).aig);
     let out = sweep::fraig(&m, &sweep::FraigParams::default());
-    assert_eq!(out.aig.pos()[0], Lit::FALSE, "miter must sweep to constant false");
+    assert_eq!(
+        out.aig.pos()[0],
+        Lit::FALSE,
+        "miter must sweep to constant false"
+    );
     assert_eq!(out.aig.num_ands(), 0);
 }
 

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset used by `tests/tests/proptest_props.rs`:
+//!
+//! * the [`proptest!`] macro over `fn name(pat in strategy, ...) { .. }`
+//!   items (attributes and doc comments pass through),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * `any::<T>()` for integers and `bool`,
+//! * integer `Range`/`RangeInclusive` strategies,
+//! * tuple strategies, and [`collection::vec`] with fixed or ranged length.
+//!
+//! Cases are generated deterministically (seed = test-independent constant
+//! + case index); there is no shrinking — on failure the panic message
+//! carries the case number so the run can be replayed exactly. The case
+//! count defaults to 32 and can be raised with `PROPTEST_CASES`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-test case source of randomness.
+pub type TestRng = StdRng;
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 32).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(32)
+}
+
+/// Builds the deterministic RNG for one case of one property.
+pub fn case_rng(case: u32) -> TestRng {
+    StdRng::seed_from_u64(0xC5A7_0000_0000_0000 ^ u64::from(case))
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over a type's whole domain.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait VecLen {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecLen for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl VecLen for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions that run their body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            for case in 0..cases {
+                let mut proptest_rng = $crate::case_rng(case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                let run = || $body;
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {case}/{cases} of `{}` failed (deterministic; replay with PROPTEST_CASES>{case})",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` with proptest's name (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Sampled values respect their strategies.
+        #[test]
+        fn strategies_in_bounds(
+            n in 3usize..=7,
+            x in 0u32..256,
+            pair in (1u32..=8, any::<bool>()),
+            v in collection::vec(any::<u64>(), 2),
+            w in collection::vec(0i32..5, 1..4),
+        ) {
+            prop_assert!((3..=7).contains(&n));
+            prop_assert!(x < 256);
+            prop_assert!((1..=8).contains(&pair.0));
+            prop_assert_eq!(v.len(), 2);
+            prop_assert!(!w.is_empty() && w.len() < 4);
+            prop_assert!(w.iter().all(|&e| (0..5).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::case_rng(3);
+        let mut b = crate::case_rng(3);
+        let s = 0u32..1000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

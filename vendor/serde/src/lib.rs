@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` names this workspace imports:
+//! the derive macros (no-ops, from the vendored `serde_derive`) and empty
+//! marker traits so `use serde::{Deserialize, Serialize}` resolves both
+//! namespaces exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (nothing calls serde's serialization machinery — report output
+//! goes through the `bench` crate's own CSV writers), so these derives
+//! expand to nothing. If a future PR needs real serialization, vendor the
+//! genuine serde stack or emit impls here.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
