@@ -4,75 +4,267 @@
 //! the node array evaluates the circuit on 64 assignments at once. Random
 //! simulation underpins probabilistic equivalence checking, resubstitution
 //! filtering, and the structural embedding's functional signatures.
+//!
+//! Signatures live in a [`SimVectors`] matrix: one flat `Vec<u64>` holding
+//! `n_words` words per row (row-major, stride `n_words`), one row per AIG
+//! node. Simulation writes straight into the matrix column by column, so
+//! neither the producer nor any consumer allocates per-node rows.
 
 use crate::aig::Aig;
 use crate::tt::Tt;
 use rand::{Rng, SeedableRng};
 
+/// A flat, strided matrix of simulation words: `n_rows` rows of `n_words`
+/// `u64` words each, in one contiguous buffer.
+///
+/// Row `r` occupies `words[r * n_words .. (r + 1) * n_words]`. For
+/// node-signature matrices the row index is the node id; for PO-signature
+/// matrices it is the output index.
+#[derive(Clone, Debug)]
+pub struct SimVectors {
+    words: Vec<u64>,
+    n_words: usize,
+    /// Dense per-node scratch column reused across simulations (excluded
+    /// from equality; purely a cache).
+    scratch: Vec<u64>,
+}
+
+impl Default for SimVectors {
+    fn default() -> SimVectors {
+        SimVectors::new()
+    }
+}
+
+impl PartialEq for SimVectors {
+    fn eq(&self, other: &SimVectors) -> bool {
+        self.n_words == other.n_words && self.words == other.words
+    }
+}
+
+impl Eq for SimVectors {}
+
+impl SimVectors {
+    /// An empty matrix; shape it with [`SimVectors::reset`].
+    pub fn new() -> SimVectors {
+        SimVectors {
+            words: Vec::new(),
+            n_words: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// An all-zero matrix of `n_rows * n_words` words.
+    pub fn zero(n_rows: usize, n_words: usize) -> SimVectors {
+        SimVectors {
+            words: vec![0u64; n_rows * n_words],
+            n_words,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reshapes to `n_rows * n_words`, reusing the existing buffer —
+    /// repeated simulations (e.g. one per sweep round) pay the matrix
+    /// allocation once instead of remapping megabytes per call.
+    ///
+    /// Retained cells are *not* cleared: contents are unspecified until
+    /// written. Every producer here overwrites whole columns (each column
+    /// pass scatters every row), so no memset is needed between reuses.
+    pub fn reshape(&mut self, n_rows: usize, n_words: usize) {
+        self.n_words = n_words;
+        self.words.resize(n_rows * n_words, 0);
+    }
+
+    /// Words per row (the stride).
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.words.len().checked_div(self.n_words).unwrap_or(0)
+    }
+
+    /// Row `r` as a word slice (borrow, no copy).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.n_words..(r + 1) * self.n_words]
+    }
+
+    /// Mutable access to row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.words[r * self.n_words..(r + 1) * self.n_words]
+    }
+
+    /// Word `w` of row `r`.
+    #[inline]
+    pub fn word(&self, r: usize, w: usize) -> u64 {
+        self.words[r * self.n_words + w]
+    }
+
+    /// Simulates the graph on one 64-pattern word per PI, writing node
+    /// values into column `w` of the matrix (row = node id). The matrix
+    /// must have one row per node; the constant node's column stays 0.
+    ///
+    /// # Panics
+    /// Panics if `pi_words.len() != aig.num_pis()` or `w >= n_words`.
+    pub fn simulate_column(&mut self, aig: &Aig, w: usize, pi_words: &[u64]) {
+        assert_eq!(
+            pi_words.len(),
+            aig.num_pis(),
+            "one simulation word per PI required"
+        );
+        assert!(w < self.n_words, "column out of range");
+        debug_assert_eq!(self.n_rows(), aig.num_nodes(), "one row per node");
+        // Simulate densely into the scratch column — fanin loads stay in a
+        // contiguous, cache-resident buffer — then scatter into the strided
+        // matrix with one linear pass. Simulating straight into the matrix
+        // would touch a full cache line per fanin read.
+        let mut val = std::mem::take(&mut self.scratch);
+        val.clear();
+        val.resize(aig.num_nodes(), 0);
+        for (i, &pi) in aig.pis().iter().enumerate() {
+            val[pi as usize] = pi_words[i];
+        }
+        for v in aig.iter_ands() {
+            let n = aig.node(v);
+            let (f0, f1) = (n.fanin0(), n.fanin1());
+            let mut a = val[f0.var() as usize];
+            if f0.is_compl() {
+                a = !a;
+            }
+            let mut b = val[f1.var() as usize];
+            if f1.is_compl() {
+                b = !b;
+            }
+            val[v as usize] = a & b;
+        }
+        let stride = self.n_words;
+        for (v, &x) in val.iter().enumerate() {
+            self.words[v * stride + w] = x;
+        }
+        self.scratch = val;
+    }
+
+    /// Simulates `nb` consecutive columns (`w0 .. w0 + nb`) in one blocked
+    /// pass. `pi_block` holds the input words PI-major: words `j` of PI `i`
+    /// at `pi_block[i * nb + j]`.
+    ///
+    /// With `nb` sized to a cache line (8 words), the strided scatter into
+    /// the matrix touches each row's line once per *block* instead of once
+    /// per column — the main memory-traffic win of the flat layout.
+    ///
+    /// # Panics
+    /// Panics if `pi_block.len() != aig.num_pis() * nb` or the column range
+    /// is out of bounds.
+    pub fn simulate_block(&mut self, aig: &Aig, w0: usize, nb: usize, pi_block: &[u64]) {
+        assert_eq!(
+            pi_block.len(),
+            aig.num_pis() * nb,
+            "nb simulation words per PI required"
+        );
+        assert!(w0 + nb <= self.n_words, "column range out of bounds");
+        debug_assert_eq!(self.n_rows(), aig.num_nodes(), "one row per node");
+        let n = aig.num_nodes();
+        let mut val = std::mem::take(&mut self.scratch);
+        val.clear();
+        val.resize(n * nb, 0);
+        for (i, &pi) in aig.pis().iter().enumerate() {
+            val[pi as usize * nb..(pi as usize + 1) * nb]
+                .copy_from_slice(&pi_block[i * nb..(i + 1) * nb]);
+        }
+        for v in aig.iter_ands() {
+            let node = aig.node(v);
+            let (f0, f1) = (node.fanin0(), node.fanin1());
+            let m0 = if f0.is_compl() { !0u64 } else { 0 };
+            let m1 = if f1.is_compl() { !0u64 } else { 0 };
+            let (i0, i1, iv) = (
+                f0.var() as usize * nb,
+                f1.var() as usize * nb,
+                v as usize * nb,
+            );
+            for j in 0..nb {
+                val[iv + j] = (val[i0 + j] ^ m0) & (val[i1 + j] ^ m1);
+            }
+        }
+        let stride = self.n_words;
+        for v in 0..n {
+            self.words[v * stride + w0..v * stride + w0 + nb]
+                .copy_from_slice(&val[v * nb..(v + 1) * nb]);
+        }
+        self.scratch = val;
+    }
+}
+
 /// Evaluates all nodes on one 64-pattern word per PI.
 ///
 /// Returns one word per node, in node order (constant node first, value 0).
+/// One-shot convenience around [`SimVectors::simulate_column`]; batch
+/// clients should simulate into a shared matrix instead.
 ///
 /// # Panics
 /// Panics if `pi_words.len() != aig.num_pis()`.
 pub fn simulate_words(aig: &Aig, pi_words: &[u64]) -> Vec<u64> {
-    assert_eq!(
-        pi_words.len(),
-        aig.num_pis(),
-        "one simulation word per PI required"
-    );
-    let mut val = vec![0u64; aig.num_nodes()];
-    for (i, &pi) in aig.pis().iter().enumerate() {
-        val[pi as usize] = pi_words[i];
-    }
-    for v in aig.iter_ands() {
-        let n = aig.node(v);
-        let a = word(&val, n.fanin0().var(), n.fanin0().is_compl());
-        let b = word(&val, n.fanin1().var(), n.fanin1().is_compl());
-        val[v as usize] = a & b;
-    }
-    val
-}
-
-#[inline]
-fn word(val: &[u64], var: u32, compl: bool) -> u64 {
-    let w = val[var as usize];
-    if compl {
-        !w
-    } else {
-        w
-    }
+    let mut sv = SimVectors::zero(aig.num_nodes(), 1);
+    sv.simulate_column(aig, 0, pi_words);
+    sv.words
 }
 
 /// Per-node signatures over `n_words * 64` uniformly random patterns.
 ///
-/// `signatures[v][w]` is the simulation word `w` of node `v`. Deterministic
-/// for a fixed seed.
-pub fn random_signatures(aig: &Aig, n_words: usize, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut sigs = vec![vec![0u64; n_words]; aig.num_nodes()];
-    for w in 0..n_words {
-        let pi_words: Vec<u64> = (0..aig.num_pis()).map(|_| rng.gen()).collect();
-        let vals = simulate_words(aig, &pi_words);
-        for (v, &x) in vals.iter().enumerate() {
-            sigs[v][w] = x;
-        }
-    }
+/// `row(v)[w]` is simulation word `w` of node `v`. Deterministic for a
+/// fixed seed.
+pub fn random_signatures(aig: &Aig, n_words: usize, seed: u64) -> SimVectors {
+    let mut sigs = SimVectors::new();
+    random_signatures_into(aig, n_words, seed, &mut sigs);
     sigs
 }
 
+/// Columns per blocked simulation pass: one 64-byte cache line of words.
+const SIM_BLOCK: usize = 8;
+
+/// [`random_signatures`] into a caller-owned matrix, reusing its buffer.
+pub fn random_signatures_into(aig: &Aig, n_words: usize, seed: u64, sigs: &mut SimVectors) {
+    sigs.reshape(aig.num_nodes(), n_words);
+    random_columns(aig, sigs, 0, n_words, seed);
+}
+
+/// Fills columns `w0 .. w0 + n_cols` of an already-shaped matrix with
+/// uniformly random patterns, in blocked passes. Deterministic for a
+/// fixed seed; shared by the signature producers and the sweep engine's
+/// per-round resimulation.
+pub fn random_columns(aig: &Aig, sigs: &mut SimVectors, w0: usize, n_cols: usize, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pi_block = vec![0u64; aig.num_pis() * SIM_BLOCK];
+    let mut w = w0;
+    while w < w0 + n_cols {
+        let nb = SIM_BLOCK.min(w0 + n_cols - w);
+        for p in pi_block[..aig.num_pis() * nb].iter_mut() {
+            *p = rng.gen();
+        }
+        sigs.simulate_block(aig, w, nb, &pi_block[..aig.num_pis() * nb]);
+        w += nb;
+    }
+}
+
 /// PO signatures over `n_words * 64` random patterns (complement applied).
-pub fn po_signatures(aig: &Aig, n_words: usize, seed: u64) -> Vec<Vec<u64>> {
+///
+/// Row `o` is the signature of output `o`. The node matrix is simulated
+/// once; each output row is then produced by one flat copy that borrows
+/// the source row in place and folds in the complement — no per-PO row
+/// allocations.
+pub fn po_signatures(aig: &Aig, n_words: usize, seed: u64) -> SimVectors {
     let sigs = random_signatures(aig, n_words, seed);
-    aig.pos()
-        .iter()
-        .map(|po| {
-            sigs[po.var() as usize]
-                .iter()
-                .map(|&w| if po.is_compl() { !w } else { w })
-                .collect()
-        })
-        .collect()
+    let mut out = SimVectors::zero(aig.num_pos(), n_words);
+    for (o, po) in aig.pos().iter().enumerate() {
+        let src = sigs.row(po.var() as usize);
+        for (d, &s) in out.row_mut(o).iter_mut().zip(src) {
+            *d = if po.is_compl() { !s } else { s };
+        }
+    }
+    out
 }
 
 /// Complete truth tables of every PO over the PIs (exhaustive simulation).
@@ -83,29 +275,31 @@ pub fn output_tts(aig: &Aig) -> Vec<Tt> {
     let n = aig.num_pis();
     assert!(n <= Tt::MAX_VARS, "too many PIs for exhaustive simulation");
     let n_words = if n <= 6 { 1 } else { 1 << (n - 6) };
-    let mut po_words: Vec<Vec<u64>> = vec![vec![0u64; n_words]; aig.num_pos()];
+    // One reused node-wide column + the PO rows: memory stays
+    // O(num_nodes + num_pos * n_words) even at 20 PIs, where a full
+    // node-by-word matrix would be gigabytes.
+    let mut col = SimVectors::zero(aig.num_nodes(), 1);
+    let mut po_words = SimVectors::zero(aig.num_pos(), n_words);
+    let mut pi_words = vec![0u64; n];
     for w in 0..n_words {
         // PI i pattern within word w of the elementary table of variable i.
-        let pi_words: Vec<u64> = (0..n)
-            .map(|i| {
-                if i < 6 {
-                    crate::tt::VAR_MASKS[i]
-                } else if w >> (i - 6) & 1 != 0 {
-                    u64::MAX
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let vals = simulate_words(aig, &pi_words);
+        for (i, p) in pi_words.iter_mut().enumerate() {
+            *p = if i < 6 {
+                crate::tt::VAR_MASKS[i]
+            } else if w >> (i - 6) & 1 != 0 {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+        col.simulate_column(aig, 0, &pi_words);
         for (o, po) in aig.pos().iter().enumerate() {
-            let x = vals[po.var() as usize];
-            po_words[o][w] = if po.is_compl() { !x } else { x };
+            let x = col.word(po.var() as usize, 0);
+            po_words.row_mut(o)[w] = if po.is_compl() { !x } else { x };
         }
     }
-    po_words
-        .into_iter()
-        .map(|ws| Tt::from_words(n, ws))
+    (0..aig.num_pos())
+        .map(|o| Tt::from_words(n, po_words.row(o).to_vec()))
         .collect()
 }
 
@@ -170,6 +364,51 @@ mod tests {
         g.add_po(a);
         g.add_po(!a);
         let sigs = po_signatures(&g, 2, 1);
-        assert_eq!(sigs[0][0], !sigs[1][0]);
+        assert_eq!(sigs.word(0, 0), !sigs.word(1, 0));
+    }
+
+    #[test]
+    fn matrix_shape_and_rows() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        let sigs = random_signatures(&g, 3, 7);
+        assert_eq!(sigs.n_words(), 3);
+        assert_eq!(sigs.n_rows(), g.num_nodes());
+        // Row of the AND node = AND of its (non-complemented) fanin rows.
+        let (ra, rb): (Vec<u64>, Vec<u64>) = (
+            sigs.row(a.var() as usize).to_vec(),
+            sigs.row(b.var() as usize).to_vec(),
+        );
+        let rx = sigs.row(x.var() as usize);
+        for w in 0..3 {
+            assert_eq!(rx[w], ra[w] & rb[w]);
+        }
+        // Constant node's row is all-zero.
+        assert!(sigs.row(0).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn columns_are_independent() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.or(a, b);
+        g.add_po(x);
+        let mut sv = SimVectors::zero(g.num_nodes(), 2);
+        sv.simulate_column(&g, 0, &[0b01, 0b10]);
+        sv.simulate_column(&g, 1, &[0b11, 0b00]);
+        // Complement of the OR literal folds back to the node row's value.
+        let or_word = |w: usize| {
+            let raw = sv.word(x.var() as usize, w);
+            (if x.is_compl() { !raw } else { raw }) & 0b11
+        };
+        // Column 0: or(01,10) = 11; column 1: or(11,00) = 11.
+        assert_eq!(or_word(0), 0b11);
+        assert_eq!(or_word(1), 0b11);
+        assert_eq!(sv.word(a.var() as usize, 1), 0b11);
+        assert_eq!(sv.word(b.var() as usize, 1), 0);
     }
 }

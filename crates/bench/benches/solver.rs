@@ -2,55 +2,20 @@
 //! (pigeonhole, random 3-SAT, LEC miter) — sanity instrumentation for the
 //! substrate that every experiment rests on.
 
-use cnf::{Cnf, CnfLit};
+use cnf::Cnf;
 use criterion::{criterion_group, criterion_main, Criterion};
 use csat_preproc::{BaselinePipeline, Pipeline};
-use rand::{Rng, SeedableRng};
 use sat::{solve_cnf, Budget, SolverConfig};
+use workloads::cnf_gen::{pigeonhole, random_3sat};
 use workloads::datapath::{carry_lookahead_adder, ripple_carry_adder};
 use workloads::lec::miter;
-
-/// Pigeonhole principle PHP(n+1, n) — canonical UNSAT stressor.
-fn php(holes: u32) -> Cnf {
-    let pigeons = holes + 1;
-    let var = |p: u32, h: u32| p * holes + h + 1;
-    let mut f = Cnf::new();
-    for p in 0..pigeons {
-        f.add_clause((0..holes).map(|h| CnfLit::pos(var(p, h))).collect());
-    }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                f.add_clause(vec![CnfLit::neg(var(p1, h)), CnfLit::neg(var(p2, h))]);
-            }
-        }
-    }
-    f
-}
-
-fn random_3sat(n: u32, ratio: f64, seed: u64) -> Cnf {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut f = Cnf::new();
-    f.ensure_vars(n);
-    for _ in 0..(n as f64 * ratio) as usize {
-        let mut clause = Vec::new();
-        while clause.len() < 3 {
-            let v = rng.gen_range(1..=n);
-            if clause.iter().all(|l: &CnfLit| l.var() != v) {
-                clause.push(CnfLit::new(v, rng.gen()));
-            }
-        }
-        f.add_clause(clause);
-    }
-    f
-}
 
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
     group.sample_size(10);
 
     let formulas: Vec<(&str, Cnf)> = vec![
-        ("php7", php(7)),
+        ("php7", pigeonhole(7)),
         ("random3sat_120", random_3sat(120, 4.2, 3)),
         ("lec_miter_adder10", {
             let a = ripple_carry_adder(10);

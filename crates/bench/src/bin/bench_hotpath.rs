@@ -1,0 +1,188 @@
+//! Hot-path throughput harness: `BENCH_hotpath.json` emitter.
+//!
+//! Times the two kernels the preprocessing pipeline lives in — CDCL
+//! two-watched-literal propagation and bit-parallel resimulation — plus an
+//! end-to-end fraig run, on fixed built-in workloads. The JSON output is
+//! the recorded perf trajectory for this and future optimisation PRs:
+//! run it before and after a change and diff the throughput numbers.
+//!
+//! Usage: `bench_hotpath [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks every workload so CI can assert the harness still
+//! runs and the JSON still carries the expected keys in a few seconds.
+
+use cnf::Cnf;
+use csat_preproc::{BaselinePipeline, Pipeline};
+use sat::{solve_cnf, Budget, SolverConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+use sweep::{fraig, FraigParams};
+use workloads::cnf_gen::{pigeonhole, random_3sat};
+use workloads::datapath::{carry_lookahead_adder, ripple_carry_adder};
+use workloads::lec::miter;
+use workloads::random_aig::{random_aig, RandomAigParams};
+
+struct SolverRow {
+    name: &'static str,
+    wall_s: f64,
+    propagations: u64,
+    conflicts: u64,
+    props_per_sec: f64,
+}
+
+fn time_solver(name: &'static str, f: &Cnf, cfg: SolverConfig, reps: usize) -> SolverRow {
+    // One warm-up run, then `reps` timed runs.
+    let _ = solve_cnf(f, cfg.clone(), Budget::conflicts(2_000_000));
+    let start = Instant::now();
+    let mut propagations = 0u64;
+    let mut conflicts = 0u64;
+    for _ in 0..reps {
+        let (_, stats) = solve_cnf(f, cfg.clone(), Budget::conflicts(2_000_000));
+        propagations += stats.propagations;
+        conflicts += stats.conflicts;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    SolverRow {
+        name,
+        wall_s,
+        propagations,
+        conflicts,
+        props_per_sec: propagations as f64 / wall_s.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_hotpath.json", |s| s.as_str());
+
+    let (php_holes, sat_vars, adder_bits, solver_reps) = if smoke {
+        (5, 40, 4, 1)
+    } else {
+        (8, 150, 12, 3)
+    };
+
+    // --- CDCL propagation kernel ---------------------------------------
+    let lec_cnf = {
+        let a = ripple_carry_adder(adder_bits);
+        let b = carry_lookahead_adder(adder_bits);
+        BaselinePipeline.preprocess(&miter(&a.aig, &b.aig)).cnf
+    };
+    let solver_rows = [
+        time_solver(
+            "php",
+            &pigeonhole(php_holes),
+            SolverConfig::kissat_like(),
+            solver_reps,
+        ),
+        time_solver(
+            "random3sat",
+            &random_3sat(sat_vars, 4.2, 3),
+            SolverConfig::kissat_like(),
+            solver_reps,
+        ),
+        time_solver(
+            "lec_miter",
+            &lec_cnf,
+            SolverConfig::cadical_like(),
+            solver_reps,
+        ),
+    ];
+
+    // --- bit-parallel resimulation kernel ------------------------------
+    let (sim_gates, sim_words, sim_reps) = if smoke { (500, 8, 2) } else { (20_000, 64, 10) };
+    let g = random_aig(
+        &RandomAigParams {
+            n_pis: 64,
+            n_gates: sim_gates,
+            n_pos: 8,
+            ..RandomAigParams::default()
+        },
+        0xC0FFEE,
+    );
+    let mut sigs = aig::sim::SimVectors::new();
+    aig::sim::random_signatures_into(&g, sim_words, 1, &mut sigs); // warm-up
+    let sim_start = Instant::now();
+    let mut checksum = 0u64;
+    for rep in 0..sim_reps {
+        aig::sim::random_signatures_into(&g, sim_words, rep as u64, &mut sigs);
+        checksum ^= sigs.row(g.num_nodes() - 1).iter().fold(0, |a, &w| a ^ w);
+    }
+    let sim_wall = sim_start.elapsed().as_secs_f64();
+    let words_simulated = (g.num_nodes() * sim_words * sim_reps) as u64;
+    let words_per_sec = words_simulated as f64 / sim_wall.max(1e-9);
+
+    // --- fraig (sweep) kernel ------------------------------------------
+    let fraig_bits = if smoke { 4 } else { 16 };
+    let fg = {
+        let a = ripple_carry_adder(fraig_bits);
+        let b = carry_lookahead_adder(fraig_bits);
+        miter(&a.aig, &b.aig)
+    };
+    let fraig_start = Instant::now();
+    let out = fraig(&fg, &FraigParams::default());
+    let fraig_wall = fraig_start.elapsed().as_secs_f64();
+
+    // --- report ---------------------------------------------------------
+    let total_props: u64 = solver_rows.iter().map(|r| r.propagations).sum();
+    let total_solver_wall: f64 = solver_rows.iter().map(|r| r.wall_s).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str("  \"solver\": [\n");
+    for (i, r) in solver_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"propagations\": {}, \"conflicts\": {}, \"props_per_sec\": {:.0}}}{}",
+            r.name,
+            r.wall_s,
+            r.propagations,
+            r.conflicts,
+            r.props_per_sec,
+            if i + 1 < solver_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sim\": {{\"nodes\": {}, \"words\": {}, \"reps\": {}, \"wall_s\": {:.6}, \"words_simulated\": {}, \"words_per_sec\": {:.0}, \"checksum\": {}}},",
+        g.num_nodes(),
+        sim_words,
+        sim_reps,
+        sim_wall,
+        words_simulated,
+        words_per_sec,
+        checksum
+    );
+    let _ = writeln!(
+        json,
+        "  \"fraig\": {{\"bits\": {}, \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}},",
+        fraig_bits,
+        fraig_wall,
+        out.stats.sat_calls,
+        out.stats.proved,
+        out.stats.disproved,
+        out.stats.rounds,
+        out.aig.num_ands()
+    );
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}}}",
+        total_solver_wall + sim_wall + fraig_wall,
+        total_props as f64 / total_solver_wall.max(1e-9),
+        words_per_sec
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_hotpath.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

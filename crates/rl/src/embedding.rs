@@ -40,7 +40,7 @@ pub fn instance_embedding(g: &Aig) -> Vec<f64> {
     for v in 0..g.num_nodes() as u32 {
         let node = g.node(v);
         // Functional statistics from simulation signatures.
-        let ones: u32 = sigs[v as usize].iter().map(|w| w.count_ones()).sum();
+        let ones: u32 = sigs.row(v as usize).iter().map(|w| w.count_ones()).sum();
         let total_bits = (SIM_WORDS * 64) as f64;
         let density = ones as f64 / total_bits;
         let feats = [

@@ -1,64 +1,44 @@
-//! Clause storage.
+//! Clause storage: a MiniSat-style flat `u32` arena.
 //!
-//! Clauses live in a single database indexed by [`ClauseRef`]. Learnt
-//! clauses carry an LBD ("glue") score and an activity used by the
-//! reduction policy. Deleted clauses are tombstoned and reclaimed by a
-//! periodic garbage collection that compacts the database and remaps
-//! references.
+//! All clauses live in one contiguous `Vec<u32>` as back-to-back records
+//!
+//! ```text
+//! offset r:  +0 header   (len << 3 | RELOCATED | DELETED | LEARNT)
+//!            +1 lbd      (glue at learning time; forward offset during GC)
+//!            +2 activity (f32 bit pattern)
+//!            +3 lits[0] .. lits[len-1]   (Lit, one u32 each)
+//! ```
+//!
+//! A [`ClauseRef`] is the word offset of a record's header, so propagation
+//! reads literals inline from the arena with a single index — no
+//! per-clause heap allocation, no pointer chase. Deleted clauses are
+//! tombstoned; garbage collection is a single compacting copy pass driven
+//! by [`ClauseDb::reloc`]: the first reference to reach a live record
+//! moves it to the new arena and leaves a forwarding offset behind, and
+//! every later reference follows that forward.
 
 use crate::types::{ClauseRef, Lit};
 
-/// One stored clause.
-#[derive(Clone, Debug)]
-pub struct Clause {
-    lits: Vec<Lit>,
-    /// Literal-block distance at learning time (0 for problem clauses).
-    pub lbd: u32,
-    /// Bump-and-decay activity for reduction tie-breaking.
-    pub activity: f32,
-    /// True for learnt (redundant) clauses.
-    pub learnt: bool,
-    /// Tombstone flag; set by deletion, cleared by GC.
-    pub deleted: bool,
-}
+/// Words before the literals in every record.
+const HEADER_WORDS: usize = 3;
+/// Header flag: learnt (redundant) clause.
+const LEARNT: u32 = 1;
+/// Header flag: tombstoned, reclaimed by the next collection.
+const DELETED: u32 = 2;
+/// Header flag (GC-transient): record moved, word 1 holds the new offset.
+const RELOCATED: u32 = 4;
+/// Length field shift within the header word.
+const LEN_SHIFT: u32 = 3;
 
-impl Clause {
-    /// The literals; the first two are the watched ones.
-    #[inline]
-    pub fn lits(&self) -> &[Lit] {
-        &self.lits
-    }
-
-    /// Mutable literal access (used by propagation to reorder watches).
-    #[inline]
-    pub fn lits_mut(&mut self) -> &mut [Lit] {
-        &mut self.lits
-    }
-
-    /// Number of literals.
-    #[inline]
-    #[allow(dead_code)] // exercised by tests; kept for API completeness
-    pub fn len(&self) -> usize {
-        self.lits.len()
-    }
-
-    /// True when the clause has no literals (never stored; helper for
-    /// completeness).
-    #[inline]
-    #[allow(dead_code)] // exercised by tests; kept for API completeness
-    pub fn is_empty(&self) -> bool {
-        self.lits.is_empty()
-    }
-}
-
-/// The clause database.
+/// The clause database: one flat arena of clause records.
 #[derive(Clone, Debug, Default)]
 pub struct ClauseDb {
-    clauses: Vec<Clause>,
+    data: Vec<u32>,
     /// Count of live learnt clauses.
     pub num_learnt: usize,
     /// Count of live problem clauses.
     pub num_problem: usize,
+    /// Words occupied by tombstoned records.
     freed: usize,
 }
 
@@ -68,17 +48,32 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    /// Adds a clause and returns its reference.
-    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+    /// An empty database with `words` of arena capacity pre-reserved.
+    fn with_capacity(words: usize) -> ClauseDb {
+        ClauseDb {
+            data: Vec::with_capacity(words),
+            ..ClauseDb::default()
+        }
+    }
+
+    /// Adds a clause and returns its reference (the record's word offset).
+    pub fn add(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
-        let r = ClauseRef(self.clauses.len() as u32);
-        self.clauses.push(Clause {
-            lits,
-            lbd,
-            activity: 0.0,
-            learnt,
-            deleted: false,
-        });
+        debug_assert!(lits.len() < (1 << (32 - LEN_SHIFT)) as usize);
+        // Hard check: a wrapped offset would silently alias an earlier
+        // record and corrupt the solver, so fail loudly in release too.
+        // (One branch per clause *add* — not on the propagation path.)
+        assert!(
+            self.data.len() < u32::MAX as usize - (HEADER_WORDS + lits.len()),
+            "clause arena exceeds 2^32 words"
+        );
+        let r = ClauseRef(self.data.len() as u32);
+        self.data.reserve(HEADER_WORDS + lits.len());
+        self.data
+            .push((lits.len() as u32) << LEN_SHIFT | if learnt { LEARNT } else { 0 });
+        self.data.push(lbd);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.index() as u32));
         if learnt {
             self.num_learnt += 1;
         } else {
@@ -87,65 +82,156 @@ impl ClauseDb {
         r
     }
 
-    /// Immutable access.
+    /// Number of literals of clause `r`.
     #[inline]
-    pub fn get(&self, r: ClauseRef) -> &Clause {
-        &self.clauses[r.0 as usize]
+    pub fn clause_len(&self, r: ClauseRef) -> usize {
+        (self.data[r.0 as usize] >> LEN_SHIFT) as usize
     }
 
-    /// Mutable access.
+    /// Literal `i` of clause `r`.
     #[inline]
-    pub fn get_mut(&mut self, r: ClauseRef) -> &mut Clause {
-        &mut self.clauses[r.0 as usize]
+    pub fn lit(&self, r: ClauseRef, i: usize) -> Lit {
+        debug_assert!(i < self.clause_len(r));
+        Lit::from_index(self.data[r.0 as usize + HEADER_WORDS + i] as usize)
     }
 
-    /// Tombstones a clause. The slot is reclaimed by [`ClauseDb::collect`].
+    /// The literals of clause `r`, inline in the arena. The first two are
+    /// the watched ones.
+    #[inline]
+    pub fn lits(&self, r: ClauseRef) -> &[Lit] {
+        let len = self.clause_len(r);
+        let start = r.0 as usize + HEADER_WORDS;
+        // Bounds-check the whole range once, then cast: Lit is
+        // #[repr(transparent)] over u32, so &[u32] and &[Lit] have
+        // identical layout.
+        let words = &self.data[start..start + len];
+        unsafe { &*(words as *const [u32] as *const [Lit]) }
+    }
+
+    /// Mutable literal access (used by propagation to reorder watches).
+    #[inline]
+    pub fn lits_mut(&mut self, r: ClauseRef) -> &mut [Lit] {
+        let len = self.clause_len(r);
+        let start = r.0 as usize + HEADER_WORDS;
+        let words = &mut self.data[start..start + len];
+        // SAFETY: as in `lits` — Lit is #[repr(transparent)] over u32.
+        unsafe { &mut *(words as *mut [u32] as *mut [Lit]) }
+    }
+
+    /// True for learnt (redundant) clauses.
+    #[inline]
+    pub fn learnt(&self, r: ClauseRef) -> bool {
+        self.data[r.0 as usize] & LEARNT != 0
+    }
+
+    /// Literal-block distance recorded at learning time (0 for problem
+    /// clauses).
+    #[inline]
+    pub fn lbd(&self, r: ClauseRef) -> u32 {
+        self.data[r.0 as usize + 1]
+    }
+
+    /// Bump-and-decay activity used for reduction tie-breaking.
+    #[inline]
+    pub fn activity(&self, r: ClauseRef) -> f32 {
+        f32::from_bits(self.data[r.0 as usize + 2])
+    }
+
+    /// Overwrites the activity of clause `r`.
+    #[inline]
+    pub fn set_activity(&mut self, r: ClauseRef, a: f32) {
+        self.data[r.0 as usize + 2] = a.to_bits();
+    }
+
+    /// Multiplies every learnt clause's activity by `factor` (rescue from
+    /// float overflow during bumping).
+    pub fn rescale_activities(&mut self, factor: f32) {
+        let mut off = 0usize;
+        while off < self.data.len() {
+            let header = self.data[off];
+            if header & (LEARNT | DELETED) == LEARNT {
+                let a = f32::from_bits(self.data[off + 2]) * factor;
+                self.data[off + 2] = a.to_bits();
+            }
+            off += HEADER_WORDS + (header >> LEN_SHIFT) as usize;
+        }
+    }
+
+    /// Tombstones a clause. The record is reclaimed by the next collection.
     pub fn delete(&mut self, r: ClauseRef) {
-        let c = &mut self.clauses[r.0 as usize];
-        debug_assert!(!c.deleted, "double delete");
-        c.deleted = true;
-        if c.learnt {
+        let header = self.data[r.0 as usize];
+        debug_assert_eq!(header & DELETED, 0, "double delete");
+        self.data[r.0 as usize] = header | DELETED;
+        if header & LEARNT != 0 {
             self.num_learnt -= 1;
         } else {
             self.num_problem -= 1;
         }
-        self.freed += c.lits.len();
+        self.freed += HEADER_WORDS + (header >> LEN_SHIFT) as usize;
     }
 
-    /// All live clause references.
+    /// All live clause references, in arena order.
     pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
-        self.clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.deleted)
-            .map(|(i, _)| ClauseRef(i as u32))
+        let mut off = 0usize;
+        std::iter::from_fn(move || {
+            while off < self.data.len() {
+                let header = self.data[off];
+                let r = ClauseRef(off as u32);
+                off += HEADER_WORDS + (header >> LEN_SHIFT) as usize;
+                if header & DELETED == 0 {
+                    return Some(r);
+                }
+            }
+            None
+        })
     }
 
-    /// Literal count waiting to be reclaimed.
+    /// Arena words occupied by tombstoned records.
     pub fn wasted(&self) -> usize {
         self.freed
     }
 
-    /// Compacts the database, dropping tombstones. Returns the remapping
-    /// `old -> new` (entries for deleted clauses are `ClauseRef::UNDEF`).
-    pub fn collect(&mut self) -> Vec<ClauseRef> {
-        let mut remap = vec![ClauseRef::UNDEF; self.clauses.len()];
-        let mut next = 0usize;
-        for i in 0..self.clauses.len() {
-            if self.clauses[i].deleted {
-                continue;
-            }
-            remap[i] = ClauseRef(next as u32);
-            self.clauses.swap(next, i);
-            next += 1;
+    /// Total words in the arena (live + tombstoned).
+    pub fn arena_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Starts a compacting collection: returns the destination arena,
+    /// sized for the live records. Move clauses into it with
+    /// [`ClauseDb::reloc`] (once per external reference), then install it
+    /// in place of `self`.
+    pub fn start_collect(&self) -> ClauseDb {
+        ClauseDb::with_capacity(self.data.len() - self.freed)
+    }
+
+    /// Relocates the clause behind `cref` into `to`, updating `cref` to
+    /// the clause's new offset. The first reference to reach a record
+    /// copies it and leaves a forwarding offset; later references follow
+    /// the forward, so calling this for *every* live external reference
+    /// (all watchers, all reasons) is both required and sufficient.
+    pub fn reloc(&mut self, cref: &mut ClauseRef, to: &mut ClauseDb) {
+        let r = cref.0 as usize;
+        let header = self.data[r];
+        if header & RELOCATED != 0 {
+            cref.0 = self.data[r + 1];
+            return;
         }
-        self.clauses.truncate(next);
-        self.freed = 0;
-        remap
+        debug_assert_eq!(header & DELETED, 0, "deleted clause still referenced");
+        let len = (header >> LEN_SHIFT) as usize;
+        let new_off = to.data.len() as u32;
+        to.data
+            .extend_from_slice(&self.data[r..r + HEADER_WORDS + len]);
+        if header & LEARNT != 0 {
+            to.num_learnt += 1;
+        } else {
+            to.num_problem += 1;
+        }
+        self.data[r] = header | RELOCATED;
+        self.data[r + 1] = new_off;
+        cref.0 = new_off;
     }
 
     /// Total live clauses.
-    #[allow(dead_code)] // exercised by tests; kept for API completeness
     pub fn len(&self) -> usize {
         self.num_learnt + self.num_problem
     }
@@ -170,41 +256,86 @@ mod tests {
     #[test]
     fn add_get_delete() {
         let mut db = ClauseDb::new();
-        let a = db.add(lits(&[1, 2]), false, 0);
-        let b = db.add(lits(&[1, -3, 4]), true, 2);
+        let a = db.add(&lits(&[1, 2]), false, 0);
+        let b = db.add(&lits(&[1, -3, 4]), true, 2);
         assert_eq!(db.len(), 2);
-        assert_eq!(db.get(a).len(), 2);
-        assert!(db.get(b).learnt);
+        assert_eq!(db.clause_len(a), 2);
+        assert!(db.learnt(b));
+        assert_eq!(db.lbd(b), 2);
+        assert_eq!(db.lits(b), lits(&[1, -3, 4]).as_slice());
         db.delete(a);
         assert_eq!(db.len(), 1);
         assert_eq!(db.num_problem, 0);
         assert_eq!(db.iter_refs().count(), 1);
+        assert_eq!(db.wasted(), HEADER_WORDS + 2);
     }
 
     #[test]
     fn emptiness() {
         let mut db = ClauseDb::new();
         assert!(db.is_empty());
-        let a = db.add(lits(&[1, 2]), false, 0);
+        let a = db.add(&lits(&[1, 2]), false, 0);
         assert!(!db.is_empty());
-        assert!(!db.get(a).is_empty());
+        assert_eq!(db.clause_len(a), 2);
         db.delete(a);
         assert!(db.is_empty());
     }
 
     #[test]
-    fn collect_remaps() {
+    fn refs_are_word_offsets() {
         let mut db = ClauseDb::new();
-        let a = db.add(lits(&[1, 2]), false, 0);
-        let b = db.add(lits(&[2, 3]), false, 0);
-        let c = db.add(lits(&[3, 4]), false, 0);
+        let a = db.add(&lits(&[1, 2]), false, 0);
+        let b = db.add(&lits(&[2, 3, 4]), false, 0);
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, (HEADER_WORDS + 2) as u32);
+        assert_eq!(db.lit(b, 2), lits(&[4])[0]);
+    }
+
+    #[test]
+    fn activity_roundtrips_through_bits() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&lits(&[1, 2]), true, 1);
+        db.set_activity(a, 3.5);
+        assert_eq!(db.activity(a), 3.5);
+        db.rescale_activities(0.5);
+        assert_eq!(db.activity(a), 1.75);
+    }
+
+    #[test]
+    fn reloc_compacts_and_forwards() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&lits(&[1, 2]), false, 0);
+        let b = db.add(&lits(&[2, 3]), true, 5);
+        let c = db.add(&lits(&[3, 4]), false, 0);
         db.delete(b);
-        let remap = db.collect();
-        assert_eq!(remap[a.0 as usize], ClauseRef(0));
-        assert_eq!(remap[b.0 as usize], ClauseRef::UNDEF);
-        let c2 = remap[c.0 as usize];
-        assert_eq!(db.get(c2).lits(), lits(&[3, 4]).as_slice());
-        assert_eq!(db.len(), 2);
-        assert_eq!(db.wasted(), 0);
+        let mut to = db.start_collect();
+        // Two references per clause, as the solver's watch lists hold.
+        let (mut a1, mut a2) = (a, a);
+        let (mut c1, mut c2) = (c, c);
+        db.reloc(&mut a1, &mut to);
+        db.reloc(&mut c1, &mut to);
+        db.reloc(&mut a2, &mut to);
+        db.reloc(&mut c2, &mut to);
+        assert_eq!(a1, a2, "second reference follows the forward");
+        assert_eq!(c1, c2);
+        assert_ne!(a1, c1);
+        assert_eq!(to.len(), 2);
+        assert_eq!(to.num_problem, 2);
+        assert_eq!(to.num_learnt, 0);
+        assert_eq!(to.wasted(), 0);
+        assert_eq!(to.lits(a1), lits(&[1, 2]).as_slice());
+        assert_eq!(to.lits(c1), lits(&[3, 4]).as_slice());
+        assert_eq!(to.arena_len(), 2 * (HEADER_WORDS + 2));
+    }
+
+    #[test]
+    fn iter_refs_walks_records() {
+        let mut db = ClauseDb::new();
+        let a = db.add(&lits(&[1, 2]), false, 0);
+        let b = db.add(&lits(&[1, 2, 3]), true, 2);
+        let c = db.add(&lits(&[4, 5]), false, 0);
+        db.delete(b);
+        let refs: Vec<ClauseRef> = db.iter_refs().collect();
+        assert_eq!(refs, vec![a, c]);
     }
 }

@@ -227,15 +227,14 @@ impl Solver {
                 }
             }
             _ => {
-                let cref = self.db.add(simplified, false, 0);
+                let cref = self.db.add(&simplified, false, 0);
                 self.attach(cref);
             }
         }
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let c = self.db.get(cref);
-        let (l0, l1) = (c.lits()[0], c.lits()[1]);
+        let (l0, l1) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
         self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
     }
@@ -283,8 +282,9 @@ impl Solver {
                     continue;
                 }
                 let false_lit = !p;
-                let clause = self.db.get_mut(w.cref);
-                let lits = clause.lits_mut();
+                // Literals are read inline from the arena: one index off
+                // the clause ref, no per-clause pointer chase.
+                let lits = self.db.lits_mut(w.cref);
                 if lits[0] == false_lit {
                     lits.swap(0, 1);
                 }
@@ -350,11 +350,12 @@ impl Solver {
         loop {
             debug_assert!(!confl.is_undef(), "reason must exist on the path");
             self.bump_clause(confl);
-            let clause = self.db.get(confl);
             let start = if p == Lit::UNDEF { 0 } else { 1 };
-            // Collect literals (excluding the resolved one at slot 0).
-            let clause_lits: Vec<Lit> = clause.lits()[start..].to_vec();
-            for q in clause_lits {
+            // Walk the clause by index (excluding the resolved literal at
+            // slot 0): arena access is a plain load, so no literal copy-out
+            // is needed around the activity bumps.
+            for k in start..self.db.clause_len(confl) {
+                let q = self.db.lit(confl, k);
                 let v = q.var() as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -434,8 +435,7 @@ impl Solver {
         while let Some(q) = self.analyze_stack.pop() {
             let reason = self.reason[q.var() as usize];
             debug_assert!(!reason.is_undef());
-            let clause = self.db.get(reason);
-            for &r in &clause.lits()[1..] {
+            for &r in &self.db.lits(reason)[1..] {
                 let v = r.var() as usize;
                 if self.seen[v] || self.level[v] == 0 {
                     continue;
@@ -504,16 +504,13 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.cla_inc;
-        let c = self.db.get_mut(cref);
-        if !c.learnt {
+        if !self.db.learnt(cref) {
             return;
         }
-        c.activity += inc;
-        if c.activity > 1e20 {
-            for r in self.db.iter_refs().collect::<Vec<_>>() {
-                self.db.get_mut(r).activity *= 1e-20;
-            }
+        let a = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, a);
+        if a > 1e20 {
+            self.db.rescale_activities(1e-20);
             self.cla_inc *= 1e-20;
         }
     }
@@ -534,8 +531,7 @@ impl Solver {
 
     /// True if a reason clause is locked (is the reason of its first lit).
     fn locked(&self, cref: ClauseRef) -> bool {
-        let c = self.db.get(cref);
-        let l0 = c.lits()[0];
+        let l0 = self.db.lit(cref, 0);
         self.value(l0) == LBool::True && self.reason[l0.var() as usize] == cref
     }
 
@@ -544,17 +540,14 @@ impl Solver {
         let mut candidates: Vec<ClauseRef> = self
             .db
             .iter_refs()
-            .filter(|&r| {
-                let c = self.db.get(r);
-                c.learnt && c.lbd > keep_lbd && !self.locked(r)
-            })
+            .filter(|&r| self.db.learnt(r) && self.db.lbd(r) > keep_lbd && !self.locked(r))
             .collect();
         // Delete the worse half: high LBD first, then low activity.
         candidates.sort_by(|&a, &b| {
-            let (ca, cb) = (self.db.get(a), self.db.get(b));
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
@@ -564,33 +557,116 @@ impl Solver {
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
         }
-        // Compact when a third of the database is tombstones.
-        if self.db.wasted() > 0 && to_delete > 0 {
+        // Compact once a fifth of the arena is tombstoned words; arena GC
+        // is one copy pass, so waiting for real waste beats collecting on
+        // every reduction.
+        if self.db.wasted() * 5 > self.db.arena_len() {
             self.garbage_collect();
         }
     }
 
+    /// Removes a clause's two watchers by swap-remove.
+    ///
+    /// Watcher order within a list is *irrelevant* by construction:
+    /// propagation visits the whole list, treats it as a set, and compacts
+    /// it in place; attach order is never meaningful. That makes O(1)
+    /// swap-removal safe here, instead of an order-preserving
+    /// `retain` scan rewrite of the entire list per removal.
     fn detach(&mut self, cref: ClauseRef) {
-        let c = self.db.get(cref);
-        let (l0, l1) = (c.lits()[0], c.lits()[1]);
-        self.watches[(!l0).index()].retain(|w| w.cref != cref);
-        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+        let (l0, l1) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
+        for l in [l0, l1] {
+            let ws = &mut self.watches[(!l).index()];
+            let pos = ws
+                .iter()
+                .position(|w| w.cref == cref)
+                .expect("detached clause must be watched");
+            ws.swap_remove(pos);
+        }
     }
 
+    /// Compacts the clause arena: a single copy pass that moves every
+    /// still-referenced record into a fresh arena and remaps all watchers
+    /// and reason references through forwarding offsets (see
+    /// [`ClauseDb::reloc`]). Every live clause is watched exactly twice,
+    /// so relocating via the watch lists covers the whole database;
+    /// reasons are a subset and resolve through the forwards.
     fn garbage_collect(&mut self) {
-        let remap = self.db.collect();
+        let mut to = self.db.start_collect();
         for ws in &mut self.watches {
             for w in ws.iter_mut() {
-                w.cref = remap[w.cref.0 as usize];
-                debug_assert!(!w.cref.is_undef(), "watched clause must survive GC");
+                self.db.reloc(&mut w.cref, &mut to);
             }
         }
         for r in &mut self.reason {
             if !r.is_undef() {
-                *r = remap[r.0 as usize];
+                self.db.reloc(r, &mut to);
             }
         }
+        debug_assert_eq!(to.len(), self.db.len(), "live clauses must survive GC");
+        self.db = to;
         self.stats.gcs += 1;
+    }
+
+    /// Validates the watch/reason invariants against the clause arena.
+    ///
+    /// Test-suite hook (GC-under-load differential tests): panics with a
+    /// description on the first violated invariant. Checked invariants:
+    /// every live clause is watched exactly twice, on the negations of its
+    /// first two literals; every watcher points at a live clause with a
+    /// matching watched literal and an in-clause blocker; every recorded
+    /// reason is a live clause whose slot-0 literal is the implied one.
+    #[doc(hidden)]
+    pub fn assert_integrity(&self) {
+        let mut watch_count: std::collections::HashMap<ClauseRef, usize> =
+            std::collections::HashMap::new();
+        for idx in 0..self.watches.len() {
+            let lit = Lit::from_index(idx); // list fires when `lit` becomes true
+            for w in &self.watches[idx] {
+                let lits = self.db.lits(w.cref);
+                assert!(
+                    !lits[0] == lit || !lits[1] == lit,
+                    "watcher of {lit:?} not on a watched slot: {lits:?}"
+                );
+                assert!(
+                    lits.contains(&w.blocker),
+                    "blocker {:?} outside clause {lits:?}",
+                    w.blocker
+                );
+                *watch_count.entry(w.cref).or_insert(0) += 1;
+            }
+        }
+        let mut live = 0usize;
+        for r in self.db.iter_refs() {
+            live += 1;
+            assert_eq!(
+                watch_count.get(&r).copied().unwrap_or(0),
+                2,
+                "live clause {r:?} must be watched exactly twice"
+            );
+        }
+        assert_eq!(live, self.db.len(), "live-clause count drifted");
+        assert_eq!(
+            watch_count.len(),
+            live,
+            "watcher points at a deleted clause"
+        );
+        for (v, &r) in self.reason.iter().enumerate() {
+            if r.is_undef() {
+                continue;
+            }
+            assert_ne!(
+                self.assigns[v],
+                LBool::Undef,
+                "unassigned var {v} holds a reason"
+            );
+            let l0 = self.db.lit(r, 0);
+            assert_eq!(
+                l0.var() as usize,
+                v,
+                "reason of var {v} must imply it at slot 0"
+            );
+            assert_eq!(self.value(l0), LBool::True, "implied literal not true");
+        }
     }
 
     fn budget_exhausted(&self) -> bool {
@@ -654,7 +730,7 @@ impl Solver {
                     self.unchecked_enqueue(learnt[0], ClauseRef::UNDEF);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.db.add(learnt, true, lbd);
+                    let cref = self.db.add(&learnt, true, lbd);
                     self.attach(cref);
                     self.unchecked_enqueue(asserting, cref);
                 }

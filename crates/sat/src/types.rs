@@ -10,7 +10,11 @@ pub type Var = u32;
 ///
 /// Distinct from [`cnf::CnfLit`] (DIMACS convention) — conversion happens at
 /// the solver boundary.
+/// `#[repr(transparent)]` over `u32`: literals are stored directly as the
+/// words of the flat clause arena, and [`crate::clause::ClauseDb::lits`]
+/// reinterprets arena words as literal slices.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {
@@ -115,7 +119,10 @@ impl LBool {
     }
 }
 
-/// Reference to a clause in the clause database.
+/// Reference to a clause in the clause database: the word offset of the
+/// clause's record header inside the flat arena (see
+/// [`crate::clause::ClauseDb`]). Offsets are remapped by garbage
+/// collection, which compacts the arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClauseRef(pub(crate) u32);
 

@@ -1,7 +1,7 @@
 //! The fraig engine: simulate, conjecture, SAT-prove, merge, rebuild.
 
 use crate::classes::candidate_classes;
-use aig::sim::{random_signatures, simulate_words};
+use aig::sim::{random_columns, SimVectors};
 use aig::{Aig, Lit, Var};
 use cnf::{tseitin, CnfLit, VarMap};
 use sat::{Budget, SolveResult, Solver, SolverConfig};
@@ -92,23 +92,34 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     // equiv[v] = Some(l): node v is equivalent to old-graph literal l
     // (l.var() < v). Chains are resolved during rebuild.
     let mut equiv: Vec<Option<Lit>> = vec![None; n];
-    // Extra simulation patterns from counterexamples (one Vec<bool> per PI
-    // assignment).
-    let mut extra: Vec<Vec<bool>> = Vec::new();
-    // Pairs already disproved or abandoned; never retried.
-    let mut dead: std::collections::HashSet<(Var, Var)> = std::collections::HashSet::new();
+    // Counterexamples, batched 64-per-word: each chunk is one packed
+    // simulation word per PI, so replaying the accumulated refinement
+    // patterns costs one matrix column per chunk — no per-pattern bool
+    // vectors, no per-counterexample resimulation.
+    let mut cex_chunks: Vec<Vec<u64>> = Vec::new();
+    // Pairs already disproved or abandoned; never retried. Kept as a
+    // sorted vector of packed (repr, member) keys — a binary search per
+    // candidate instead of hashing inside the refinement loop.
+    let mut dead: Vec<u64> = Vec::new();
+    let pair_key = |repr: Var, member: Var| (repr as u64) << 32 | member as u64;
 
+    // One signature matrix reused across rounds (buffer grows by one
+    // refinement column per round, never reallocates from scratch).
+    let mut sigs = SimVectors::new();
     for round in 0..params.max_rounds {
         stats.rounds = round + 1;
-        let mut sigs = random_signatures(aig, params.sim_words, params.seed ^ round as u64);
-        extend_with_patterns(aig, &mut sigs, &extra);
+        simulate_round(aig, params, round, &cex_chunks, &mut sigs);
 
         // Candidates: constant node + reachable, not-yet-merged PIs/ANDs.
         let members =
             (0..n as Var).filter(|&v| v == 0 || (reach[v as usize] && equiv[v as usize].is_none()));
         let classes = candidate_classes(&sigs, members);
 
-        let mut new_cex: Vec<Vec<bool>> = Vec::new();
+        // This round's counterexamples, packed on the fly (bit j of
+        // chunk[i] = value of PI i in the j-th counterexample).
+        let mut chunk = vec![0u64; aig.num_pis()];
+        let mut chunk_len = 0u32;
+        let mut fresh_dead: Vec<u64> = Vec::new();
         let mut checks = vec![0usize; n];
         for class in classes.classes() {
             let repr = class[0];
@@ -116,15 +127,15 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
                 if equiv[member.var as usize].is_some() {
                     continue; // merged via an earlier class this round
                 }
-                if dead.contains(&(repr.var, member.var)) {
+                if dead.binary_search(&pair_key(repr.var, member.var)).is_ok() {
                     continue;
                 }
                 if checks[member.var as usize] >= params.max_checks_per_node {
                     continue;
                 }
                 checks[member.var as usize] += 1;
-                if new_cex.len() >= 64 {
-                    break; // enough refinement material for this round
+                if chunk_len >= 64 {
+                    break; // the refinement word for this round is full
                 }
                 let phase = repr.phase != member.phase;
                 stats.sat_calls += 1;
@@ -135,21 +146,28 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
                     }
                     Answer::Different(pattern) => {
                         stats.disproved += 1;
-                        dead.insert((repr.var, member.var));
-                        new_cex.push(pattern);
+                        fresh_dead.push(pair_key(repr.var, member.var));
+                        for (i, &bit) in pattern.iter().enumerate() {
+                            chunk[i] |= (bit as u64) << chunk_len;
+                        }
+                        chunk_len += 1;
                     }
                     Answer::Undecided => {
                         stats.unknown += 1;
-                        dead.insert((repr.var, member.var));
+                        fresh_dead.push(pair_key(repr.var, member.var));
                     }
                 }
             }
         }
-        if new_cex.is_empty() {
+        // A round's (repr, member) pairs are distinct, so merging the
+        // fresh keys once per round keeps `dead` sorted and duplicate-free.
+        dead.extend(fresh_dead);
+        dead.sort_unstable();
+        if chunk_len == 0 {
             break;
         }
-        stats.cex_patterns += new_cex.len();
-        extra.extend(new_cex);
+        stats.cex_patterns += chunk_len as usize;
+        cex_chunks.push(chunk);
     }
 
     FraigOutcome {
@@ -262,21 +280,23 @@ fn rebuild(aig: &Aig, equiv: &[Option<Lit>]) -> Aig {
     out.compact().0
 }
 
-/// Appends counterexample patterns (packed 64 per word) to all signatures.
-fn extend_with_patterns(aig: &Aig, sigs: &mut [Vec<u64>], patterns: &[Vec<bool>]) {
-    for chunk in patterns.chunks(64) {
-        let mut pi_words = vec![0u64; aig.num_pis()];
-        for (j, pattern) in chunk.iter().enumerate() {
-            for (i, &bit) in pattern.iter().enumerate() {
-                if bit {
-                    pi_words[i] |= 1 << j;
-                }
-            }
-        }
-        let vals = simulate_words(aig, &pi_words);
-        for (v, &word) in vals.iter().enumerate() {
-            sigs[v].push(word);
-        }
+/// One round's signature matrix: `sim_words` fresh random columns plus one
+/// replayed column per accumulated counterexample chunk, all simulated
+/// directly into a single strided [`SimVectors`] buffer.
+fn simulate_round(
+    aig: &Aig,
+    params: &FraigParams,
+    round: usize,
+    cex_chunks: &[Vec<u64>],
+    sigs: &mut SimVectors,
+) {
+    // Reshape without zeroing: every column below is fully written.
+    sigs.reshape(aig.num_nodes(), params.sim_words + cex_chunks.len());
+    // Random columns go through the blocked path (8 columns per pass);
+    // each counterexample chunk is one replayed column.
+    random_columns(aig, sigs, 0, params.sim_words, params.seed ^ round as u64);
+    for (k, chunk) in cex_chunks.iter().enumerate() {
+        sigs.simulate_column(aig, params.sim_words + k, chunk);
     }
 }
 

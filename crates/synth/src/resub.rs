@@ -17,7 +17,13 @@ use crate::plan::{rebuild, Choice};
 use crate::refactor::reconvergence_cut;
 use aig::hash::FastSet;
 use aig::mffc::Mffc;
+use aig::sim::random_signatures;
 use aig::{Aig, GateList, Lit, Tt, Var};
+
+/// Words of global random simulation behind the divisor filter.
+const SIG_WORDS: usize = 4;
+/// Seed of the filter signatures (fixed: resub stays deterministic).
+const SIG_SEED: u64 = 0x5e5b_51f7;
 
 /// Parameters of the resubstitution pass.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +56,11 @@ pub fn resub(aig: &Aig, params: &ResubParams) -> Aig {
     let fanout = aig.fanout_counts();
     let fanout_lists = aig.fanout_lists();
     let mut choices: Vec<Choice> = vec![Choice::Copy; aig.num_nodes()];
+    // Global random signatures, computed once into one strided matrix.
+    // Window-TT equality implies global-function equality, so a signature
+    // mismatch soundly rejects a candidate before any truth-table work.
+    let sigs = random_signatures(aig, SIG_WORDS, SIG_SEED);
+    let mask = |c: bool| if c { !0u64 } else { 0 };
 
     for v in aig.iter_ands() {
         if fanout[v as usize] == 0 {
@@ -108,9 +119,17 @@ pub fn resub(aig: &Aig, params: &ResubParams) -> Aig {
         }
         divisors.truncate(params.max_divisors);
 
-        // 0-resub.
+        // 0-resub. The signature filter rejects non-candidates with a few
+        // word compares; the window truth table confirms survivors.
+        let rv = sigs.row(v as usize);
         let mut chosen: Option<(Vec<Lit>, GateList)> = None;
         for &d in &divisors {
+            let rd = sigs.row(d as usize);
+            let direct = rd.iter().zip(rv).all(|(&x, &y)| x == y);
+            let compl = !direct && rd.iter().zip(rv).all(|(&x, &y)| x == !y);
+            if !direct && !compl {
+                continue;
+            }
             let td = &tts[&d];
             if *td == ft {
                 chosen = Some((vec![Lit::from_var(d, false)], identity_gl(false)));
@@ -127,8 +146,21 @@ pub fn resub(aig: &Aig, params: &ResubParams) -> Aig {
             'outer: for i in 0..divisors.len() {
                 for j in (i + 1)..divisors.len() {
                     let (da, db) = (divisors[i], divisors[j]);
-                    let (ta, tb) = (&tts[&da], &tts[&db]);
+                    let (ra, rb) = (sigs.row(da as usize), sigs.row(db as usize));
                     for (ca, cb, co) in POLARITIES {
+                        // Word-parallel signature filter: the candidate's
+                        // global signature must reproduce the target's
+                        // before any truth table is materialised.
+                        let (ma, mb, mo) = (mask(ca), mask(cb), mask(co));
+                        let sig_ok = ra
+                            .iter()
+                            .zip(rb)
+                            .zip(rv)
+                            .all(|((&wa, &wb), &wv)| ((wa ^ ma) & (wb ^ mb)) ^ mo == wv);
+                        if !sig_ok {
+                            continue;
+                        }
+                        let (ta, tb) = (&tts[&da], &tts[&db]);
                         let fa = if ca { !ta } else { ta.clone() };
                         let fb = if cb { !tb } else { tb.clone() };
                         let mut f = fa & fb;

@@ -77,7 +77,7 @@ pub fn random_testable_fault(src: &Aig, seed: u64, tries: usize) -> Option<(Stuc
         let m = atpg_miter(src, fault);
         // Observable on random patterns? (Cheap SAT witness check.)
         let sigs = aig::sim::po_signatures(&m, 4, rng.gen());
-        if sigs[0].iter().any(|&w| w != 0) {
+        if sigs.row(0).iter().any(|&w| w != 0) {
             return Some((fault, m));
         }
     }

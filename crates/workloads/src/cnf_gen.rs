@@ -1,0 +1,76 @@
+//! Direct CNF workload generators (no circuit intermediary): canonical
+//! solver stressors shared by the perf harness, the criterion benches,
+//! and the differential test suites — one definition, one encoding.
+
+use cnf::{Cnf, CnfLit};
+use rand::{Rng, SeedableRng};
+
+/// Pigeonhole principle PHP(n+1, n): `holes + 1` pigeons into `holes`
+/// holes — the canonical propagation-heavy UNSAT family. Variable
+/// `p * holes + h + 1` means "pigeon `p` sits in hole `h`".
+pub fn pigeonhole(holes: u32) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: u32, h: u32| p * holes + h + 1;
+    let mut f = Cnf::new();
+    for p in 0..pigeons {
+        f.add_clause((0..holes).map(|h| CnfLit::pos(var(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                f.add_clause(vec![CnfLit::neg(var(p1, h)), CnfLit::neg(var(p2, h))]);
+            }
+        }
+    }
+    f
+}
+
+/// Uniform random 3-SAT over `n` variables at the given clause/variable
+/// ratio (4.26 is the classic phase-transition point). Deterministic for
+/// a fixed seed; clauses hold three distinct variables.
+pub fn random_3sat(n: u32, ratio: f64, seed: u64) -> Cnf {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new();
+    f.ensure_vars(n);
+    for _ in 0..(n as f64 * ratio) as usize {
+        let mut clause = Vec::new();
+        while clause.len() < 3 {
+            let v = rng.gen_range(1..=n);
+            if clause.iter().all(|l: &CnfLit| l.var() != v) {
+                clause.push(CnfLit::new(v, rng.gen()));
+            }
+        }
+        f.add_clause(clause);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pigeonhole_shape() {
+        let holes = 4u32;
+        let f = pigeonhole(holes);
+        let pigeons = holes + 1;
+        let pair_clauses = holes * pigeons * (pigeons - 1) / 2;
+        assert_eq!(f.num_vars(), pigeons * holes);
+        assert_eq!(f.num_clauses() as u32, pigeons + pair_clauses);
+    }
+
+    #[test]
+    fn random_3sat_deterministic_and_well_formed() {
+        let a = random_3sat(30, 4.26, 7);
+        let b = random_3sat(30, 4.26, 7);
+        assert_eq!(a.num_clauses(), b.num_clauses());
+        assert_eq!(a.num_clauses(), (30.0 * 4.26) as usize);
+        for c in a.clauses() {
+            assert_eq!(c.len(), 3);
+            let mut vars: Vec<u32> = c.iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "distinct variables per clause");
+        }
+    }
+}

@@ -482,7 +482,7 @@ mod tests {
                 assert!(found, "{} labelled SAT but no witness", inst.name);
             } else {
                 let sigs = aig::sim::po_signatures(&inst.aig, 8, 1);
-                assert!(sigs[0].iter().any(|&w| w != 0), "{}", inst.name);
+                assert!(sigs.row(0).iter().any(|&w| w != 0), "{}", inst.name);
             }
         }
     }
@@ -525,7 +525,7 @@ mod tests {
         for inst in set.iter().filter(|i| i.expected == Some(false)) {
             // UNSAT miters must never fire under random simulation.
             let sigs = aig::sim::po_signatures(&inst.aig, 16, 99);
-            assert!(sigs[0].iter().all(|&w| w == 0), "{} fired", inst.name);
+            assert!(sigs.row(0).iter().all(|&w| w == 0), "{} fired", inst.name);
         }
     }
 

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atpg;
+pub mod cnf_gen;
 pub mod datapath;
 pub mod dataset;
 pub mod encoders;

@@ -1,0 +1,150 @@
+//! Differential tests for the flat-arena clause database: the arena-backed
+//! CDCL solver against the DPLL reference on generated corpora, plus
+//! GC-under-load checks that force clause-database reductions mid-solve
+//! and assert the watch/reason invariants survive arena compaction.
+
+use cnf::{Cnf, CnfLit};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sat::{reference::dpll_sat, solve_cnf, Budget, SolveResult, Solver, SolverConfig};
+use workloads::cnf_gen::pigeonhole;
+use workloads::dataset::{generate, DatasetParams};
+
+fn random_cnf(rng: &mut rand::rngs::StdRng, n_vars: u32, n_clauses: usize, max_len: usize) -> Cnf {
+    let mut f = Cnf::new();
+    f.ensure_vars(n_vars);
+    for _ in 0..n_clauses {
+        let len = rng.gen_range(1..=max_len.min(n_vars as usize));
+        let mut clause: Vec<CnfLit> = Vec::new();
+        while clause.len() < len {
+            let v = rng.gen_range(1..=n_vars);
+            if clause.iter().all(|l| l.var() != v) {
+                clause.push(CnfLit::new(v, rng.gen()));
+            }
+        }
+        f.add_clause(clause);
+    }
+    f
+}
+
+#[test]
+fn arena_agrees_with_reference_on_seed_corpus() {
+    // The built-in workload corpus, Tseitin-encoded: verdicts must match
+    // the instance labels and every SAT model must evaluate the circuit.
+    let set = generate(
+        &DatasetParams {
+            count: 8,
+            min_bits: 4,
+            max_bits: 7,
+            hard_multipliers: false,
+        },
+        0xA12E,
+    );
+    for inst in &set {
+        let (formula, map) = cnf::tseitin_sat_instance(&inst.aig);
+        for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
+            let (res, _) = solve_cnf(&formula, cfg, Budget::UNLIMITED);
+            if let Some(expected) = inst.expected {
+                assert_eq!(res.is_sat(), expected, "{}", inst.name);
+            }
+            if let SolveResult::Sat(model) = &res {
+                assert!(formula.eval(model), "{}: model must satisfy CNF", inst.name);
+                let ins = map.decode_inputs(model);
+                assert_eq!(inst.aig.eval(&ins), vec![true], "{}", inst.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_agrees_with_dpll_on_random_mixed_formulas() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1FF);
+    for iter in 0..200 {
+        let n = rng.gen_range(3..=13);
+        let m = rng.gen_range(4..=(n as usize * 6));
+        let f = random_cnf(&mut rng, n, m, 4);
+        let expected = dpll_sat(&f);
+        let (res, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        assert_eq!(res.is_sat(), expected, "iter {iter}");
+        if let SolveResult::Sat(model) = &res {
+            assert!(f.eval(model), "iter {iter}: invalid model");
+        }
+    }
+}
+
+proptest! {
+    /// Arena solver verdict == DPLL verdict and models are valid, on
+    /// proptest-driven random formulas (both presets).
+    #[test]
+    fn arena_verdicts_match_dpll(seed in any::<u64>(), n in 3u32..=11, density in 20u32..=55) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = (n * density / 10) as usize;
+        let f = random_cnf(&mut rng, n, m, 3);
+        let expected = dpll_sat(&f);
+        for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
+            let (res, _) = solve_cnf(&f, cfg, Budget::UNLIMITED);
+            prop_assert_eq!(res.is_sat(), expected);
+            if let SolveResult::Sat(model) = &res {
+                prop_assert!(f.eval(model), "invalid model");
+            }
+        }
+    }
+}
+
+#[test]
+fn gc_under_load_keeps_watches_and_reasons_intact() {
+    // An aggressive reduction cadence forces many delete + compact cycles
+    // while the solver is mid-proof; interrupting on a conflict budget
+    // lets us audit the watch lists and reason table between bursts.
+    let mut cfg = SolverConfig::kissat_like();
+    cfg.reduce_first = 60;
+    cfg.reduce_increment = 30;
+    let mut solver = Solver::from_cnf(&pigeonhole(7), cfg);
+    solver.assert_integrity();
+    let mut verdict = None;
+    for burst in 1..=400u64 {
+        solver.set_budget(Budget::conflicts(burst * 120));
+        let res = solver.solve();
+        solver.assert_integrity();
+        if res != SolveResult::Unknown {
+            verdict = Some(res);
+            break;
+        }
+    }
+    assert_eq!(verdict, Some(SolveResult::Unsat), "php(7) is UNSAT");
+    let stats = solver.stats();
+    assert!(stats.gcs > 0, "reduction cadence must trigger arena GC");
+    assert!(stats.deleted_clauses > 0, "reduction must delete clauses");
+}
+
+#[test]
+fn gc_under_load_incremental_queries_stay_sound() {
+    // GC between incremental queries with assumptions: learnt clauses are
+    // reduced and compacted, later queries must still answer correctly.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6C0D);
+    let mut cfg = SolverConfig::cadical_like();
+    cfg.reduce_first = 40;
+    cfg.reduce_increment = 20;
+    let f = random_cnf(&mut rng, 16, 70, 3);
+    let mut solver = Solver::from_cnf(&f, cfg);
+    for iter in 0..30 {
+        let a = CnfLit::new(rng.gen_range(1..=16), rng.gen());
+        let b = CnfLit::new(rng.gen_range(1..=16), rng.gen());
+        let assumptions = if b.var() == a.var() {
+            vec![a]
+        } else {
+            vec![a, b]
+        };
+        let res = solver.solve_with_assumptions(&assumptions);
+        solver.assert_integrity();
+        // Reference: assumptions added as units to a copy.
+        let mut f_units = f.clone();
+        for &l in &assumptions {
+            f_units.add_unit(l);
+        }
+        assert_eq!(res.is_sat(), dpll_sat(&f_units), "iter {iter}");
+        if let SolveResult::Sat(model) = &res {
+            assert!(f_units.eval(model), "iter {iter}: model breaks assumptions");
+        }
+    }
+}
