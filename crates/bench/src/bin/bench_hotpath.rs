@@ -17,7 +17,7 @@ use sat::{solve_cnf, Budget, SolverConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 use sweep::{fraig, FraigParams};
-use workloads::cnf_gen::{pigeonhole, random_3sat};
+use workloads::cnf_gen::{pigeonhole, random_2sat, random_3sat};
 use workloads::datapath::{carry_lookahead_adder, ripple_carry_adder};
 use workloads::lec::miter;
 use workloads::random_aig::{random_aig, RandomAigParams};
@@ -60,10 +60,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_hotpath.json", |s| s.as_str());
 
-    let (php_holes, sat_vars, adder_bits, solver_reps) = if smoke {
-        (5, 40, 4, 1)
+    let (php_holes, sat_vars, twosat_vars, adder_bits, solver_reps) = if smoke {
+        (5, 40, 2_000, 4, 1)
     } else {
-        (8, 150, 12, 3)
+        (8, 150, 120_000, 12, 3)
     };
 
     // --- CDCL propagation kernel ---------------------------------------
@@ -82,6 +82,15 @@ fn main() {
         time_solver(
             "random3sat",
             &random_3sat(sat_vars, 4.2, 3),
+            SolverConfig::kissat_like(),
+            solver_reps,
+        ),
+        // All-binary workload: propagation runs entirely in the solver's
+        // inline binary-watcher tier (ratio just under the 2-SAT
+        // threshold keeps it SAT with long implication chains).
+        time_solver(
+            "random2sat",
+            &random_2sat(twosat_vars, 0.95, 9),
             SolverConfig::kissat_like(),
             solver_reps,
         ),

@@ -40,35 +40,61 @@ impl From<io::Error> for ParseDimacsError {
 /// Reads a DIMACS CNF file.
 ///
 /// Comment lines (`c ...`) are skipped; the `p cnf V C` header is optional
-/// but validated when present.
+/// but validated when present: `p` must be its own whitespace-delimited
+/// token (a glued `pcnf 2 1` is rejected), at most one header is allowed,
+/// and both the declared variable and clause counts are checked against
+/// the clauses actually parsed. CRLF line endings are accepted. This is
+/// the only untrusted input surface of the pipeline, so every malformed
+/// shape must surface as a [`ParseDimacsError`] — never a panic.
 ///
 /// # Errors
 /// Returns [`ParseDimacsError`] on I/O failure or malformed content.
 pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
     let mut cnf = Cnf::new();
     let mut declared: Option<(u32, usize)> = None;
+    let mut parsed_clauses = 0usize;
     let mut current: Vec<CnfLit> = Vec::new();
     for line in reader.lines() {
         let line = line?;
-        let line = line.trim();
+        let line = line.trim(); // also strips the \r of CRLF endings
         if line.is_empty() || line.starts_with('c') {
             continue;
         }
-        if let Some(rest) = line.strip_prefix('p') {
-            let mut it = rest.split_whitespace();
-            if it.next() != Some("cnf") {
+        if line.starts_with('p') {
+            // Token-wise header parse: `p` glued to the format name
+            // (`pcnf 2 1`) is malformed, not a header variant.
+            let mut it = line.split_whitespace();
+            if it.next() != Some("p") || it.next() != Some("cnf") {
                 return Err(ParseDimacsError::Malformed(
                     "expected 'p cnf' header".into(),
+                ));
+            }
+            if declared.is_some() {
+                return Err(ParseDimacsError::Malformed(
+                    "duplicate 'p cnf' header".into(),
                 ));
             }
             let v: u32 = it
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| ParseDimacsError::Malformed("bad variable count".into()))?;
+            // Same cap as literals: DIMACS variables are signed i32, and an
+            // untrusted header must not be able to command a per-variable
+            // allocation downstream that dwarfs the file itself.
+            if v > i32::MAX as u32 {
+                return Err(ParseDimacsError::Malformed(format!(
+                    "declared variable count {v} out of range"
+                )));
+            }
             let c: usize = it
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| ParseDimacsError::Malformed("bad clause count".into()))?;
+            if it.next().is_some() {
+                return Err(ParseDimacsError::Malformed(
+                    "trailing tokens after 'p cnf V C' header".into(),
+                ));
+            }
             declared = Some((v, c));
             cnf.ensure_vars(v);
             continue;
@@ -78,7 +104,15 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
                 .parse()
                 .map_err(|_| ParseDimacsError::Malformed(format!("bad literal '{tok}'")))?;
             if raw == 0 {
+                parsed_clauses += 1;
                 cnf.add_clause(std::mem::take(&mut current));
+            } else if raw == i32::MIN {
+                // `CnfLit` negation is `-raw`, which overflows i32 for
+                // this one value: reject it here instead of panicking (or
+                // wrapping) later inside the solver.
+                return Err(ParseDimacsError::Malformed(format!(
+                    "literal '{tok}' out of range"
+                )));
             } else {
                 current.push(CnfLit::from_dimacs(raw));
             }
@@ -89,11 +123,18 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
             "last clause not terminated by 0".into(),
         ));
     }
-    if let Some((v, _)) = declared {
+    if let Some((v, c)) = declared {
         if cnf.num_vars() > v {
             return Err(ParseDimacsError::Malformed(
                 "clause references variable beyond declared count".into(),
             ));
+        }
+        // Compare against clauses as parsed, not `cnf.num_clauses()`:
+        // normalisation may silently drop tautologies.
+        if parsed_clauses != c {
+            return Err(ParseDimacsError::Malformed(format!(
+                "header declares {c} clauses, file contains {parsed_clauses}"
+            )));
         }
     }
     Ok(cnf)

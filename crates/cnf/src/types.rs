@@ -18,18 +18,28 @@ impl CnfLit {
     /// Positive literal of 1-based variable `v`.
     ///
     /// # Panics
-    /// Panics if `v == 0`.
+    /// Panics if `v == 0` or `v > i32::MAX as u32` (unrepresentable as a
+    /// signed DIMACS integer).
     pub fn pos(v: u32) -> CnfLit {
         assert!(v != 0, "variables are 1-based");
+        assert!(
+            v <= i32::MAX as u32,
+            "variable index overflows DIMACS range"
+        );
         CnfLit(v as i32)
     }
 
     /// Negative literal of 1-based variable `v`.
     ///
     /// # Panics
-    /// Panics if `v == 0`.
+    /// Panics if `v == 0` or `v > i32::MAX as u32` (unrepresentable as a
+    /// signed DIMACS integer).
     pub fn neg(v: u32) -> CnfLit {
         assert!(v != 0, "variables are 1-based");
+        assert!(
+            v <= i32::MAX as u32,
+            "variable index overflows DIMACS range"
+        );
         CnfLit(-(v as i32))
     }
 
@@ -45,9 +55,17 @@ impl CnfLit {
     /// Builds a literal from a DIMACS integer.
     ///
     /// # Panics
-    /// Panics if `raw == 0`.
+    /// Panics if `raw == 0`, or if `raw == i32::MIN` — the one value whose
+    /// negation (and hence [`Not`](std::ops::Not)) overflows `i32`.
+    /// Untrusted input must be range-checked *before* this constructor;
+    /// [`crate::dimacs::read_dimacs`] rejects such literals with a parse
+    /// error instead.
     pub fn from_dimacs(raw: i32) -> CnfLit {
         assert!(raw != 0, "DIMACS literal cannot be zero");
+        assert!(
+            raw != i32::MIN,
+            "DIMACS literal out of range (negation overflows)"
+        );
         CnfLit(raw)
     }
 

@@ -1,17 +1,18 @@
 //! The CDCL search engine.
 //!
-//! A MiniSat-lineage solver: two-watched-literal propagation with blockers,
-//! EVSIDS branching, phase saving, first-UIP conflict analysis with
-//! recursive clause minimisation, LBD-aware clause-database reduction, and
-//! pluggable restart policies. Decision counts — the paper's branching
-//! metric — are first-class statistics.
+//! A MiniSat-lineage solver: two-tier watched-literal propagation (an
+//! inline binary-clause tier drained ahead of blocker-guarded long-clause
+//! watchers), EVSIDS branching, phase saving, first-UIP conflict analysis
+//! with recursive clause minimisation over tagged reasons, LBD-aware
+//! clause-database reduction, and pluggable restart policies. Decision
+//! counts — the paper's branching metric — are first-class statistics.
 
 use crate::clause::ClauseDb;
 use crate::config::{Budget, SolverConfig};
 use crate::heap::VarHeap;
 use crate::restart::RestartPolicy;
 use crate::stats::Stats;
-use crate::types::{ClauseRef, LBool, Lit, Var};
+use crate::types::{ClauseRef, LBool, Lit, Reason, Var};
 use cnf::{Cnf, CnfLit};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -45,10 +46,21 @@ impl SolveResult {
     }
 }
 
+/// Long-clause (≥ 3 literals) watcher: arena reference plus a blocker
+/// literal that short-circuits the arena load when already true.
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
     cref: ClauseRef,
     blocker: Lit,
+}
+
+/// A conflict found by propagation: either an arena clause or an inline
+/// binary clause (both literals false). Binary clauses have no
+/// [`ClauseRef`], so the conflicting pair is carried by value.
+#[derive(Clone, Copy, Debug)]
+enum Conflict {
+    Clause(ClauseRef),
+    Binary(Lit, Lit),
 }
 
 /// A CDCL SAT solver.
@@ -71,13 +83,22 @@ pub struct Solver {
     stats: Stats,
 
     db: ClauseDb,
-    /// Watch lists indexed by `Lit::index()`: clauses that must be checked
-    /// when that literal becomes **true** (they watch its negation).
+    /// Long-clause watch lists indexed by `Lit::index()`: clauses that must
+    /// be checked when that literal becomes **true** (they watch its
+    /// negation). Only clauses of three or more literals live here.
     watches: Vec<Vec<Watcher>>,
+    /// Binary-clause tier, same indexing: `binary_watches[l.index()]` holds
+    /// the literal implied when `l` becomes true — the whole implication in
+    /// 4 bytes, no arena dereference. Binary clauses are never deleted,
+    /// never relocated, and never reduction candidates, so these lists are
+    /// append-only.
+    binary_watches: Vec<Vec<Lit>>,
+    /// Count of attached binary clauses (each contributes two entries).
+    num_binary: usize,
 
     assigns: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<ClauseRef>,
+    reason: Vec<Reason>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -112,6 +133,8 @@ impl Solver {
             stats: Stats::default(),
             db: ClauseDb::new(),
             watches: Vec::new(),
+            binary_watches: Vec::new(),
+            num_binary: 0,
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -161,11 +184,13 @@ impl Solver {
             let v = self.assigns.len() as Var;
             self.assigns.push(LBool::Undef);
             self.level.push(0);
-            self.reason.push(ClauseRef::UNDEF);
+            self.reason.push(Reason::Decision);
             self.activity.push(0.0);
             self.phase.push(self.config.default_phase);
             self.watches.push(Vec::new());
             self.watches.push(Vec::new());
+            self.binary_watches.push(Vec::new());
+            self.binary_watches.push(Vec::new());
             self.order.insert(v, &self.activity);
         }
     }
@@ -221,11 +246,12 @@ impl Solver {
         match simplified.len() {
             0 => self.ok = false,
             1 => {
-                self.unchecked_enqueue(simplified[0], ClauseRef::UNDEF);
+                self.unchecked_enqueue(simplified[0], Reason::Decision);
                 if self.propagate().is_some() {
                     self.ok = false;
                 }
             }
+            2 => self.attach_binary(simplified[0], simplified[1]),
             _ => {
                 let cref = self.db.add(&simplified, false, 0);
                 self.attach(cref);
@@ -233,10 +259,21 @@ impl Solver {
         }
     }
 
+    /// Attaches a long clause (≥ 3 literals) to the watcher tier.
     fn attach(&mut self, cref: ClauseRef) {
+        debug_assert!(self.db.clause_len(cref) >= 3, "binary clauses are inline");
         let (l0, l1) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
         self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    /// Attaches the binary clause `(a ∨ b)` to the inline tier: each
+    /// literal's falsification implies the other, with no arena record.
+    fn attach_binary(&mut self, a: Lit, b: Lit) {
+        debug_assert_ne!(a.var(), b.var());
+        self.binary_watches[(!a).index()].push(b);
+        self.binary_watches[(!b).index()].push(a);
+        self.num_binary += 1;
     }
 
     #[inline]
@@ -249,7 +286,7 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Reason) {
         debug_assert_eq!(self.value(l), LBool::Undef);
         let v = l.var() as usize;
         self.assigns[v] = LBool::from_bool(l.is_positive());
@@ -260,12 +297,39 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    ///
+    /// Two-tier: for each newly true literal `p` the binary tier is
+    /// drained first — every entry is a complete implication held in one
+    /// word, so the scan is cache-dense and conflict-cheap — before the
+    /// long-clause watcher walk with its blocker checks and arena loads.
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
 
+            // --- binary tier ------------------------------------------
+            // The list is append-only and never touched by enqueues, so it
+            // is taken out for iteration and restored verbatim.
+            let bins = std::mem::take(&mut self.binary_watches[p.index()]);
+            let mut binary_conflict = None;
+            for &imp in &bins {
+                match self.value(imp) {
+                    LBool::True => {}
+                    LBool::Undef => self.unchecked_enqueue(imp, Reason::Binary(!p)),
+                    LBool::False => {
+                        binary_conflict = Some(Conflict::Binary(imp, !p));
+                        break;
+                    }
+                }
+            }
+            self.binary_watches[p.index()] = bins;
+            if binary_conflict.is_some() {
+                self.qhead = self.trail.len();
+                return binary_conflict;
+            }
+
+            // --- long-clause tier -------------------------------------
             let mut i = 0;
             let mut j = 0;
             // Take the list out to sidestep aliasing; it is pushed back
@@ -329,9 +393,9 @@ impl Solver {
                     ws.truncate(j);
                     self.watches[p.index()] = ws;
                     self.qhead = self.trail.len();
-                    return Some(w.cref);
+                    return Some(Conflict::Clause(w.cref));
                 }
-                self.unchecked_enqueue(first, w.cref);
+                self.unchecked_enqueue(first, Reason::Clause(w.cref));
             }
             ws.truncate(j);
             self.watches[p.index()] = ws;
@@ -339,32 +403,52 @@ impl Solver {
         None
     }
 
+    /// Marks one antecedent literal during conflict analysis: bumps its
+    /// variable and either extends the resolution frontier (current level)
+    /// or the learnt clause (earlier level).
+    #[inline]
+    fn analyze_visit(&mut self, q: Lit, path_count: &mut u32, learnt: &mut Vec<Lit>) {
+        let v = q.var() as usize;
+        if !self.seen[v] && self.level[v] > 0 {
+            self.seen[v] = true;
+            self.bump_var(q.var());
+            if self.level[v] >= self.decision_level() {
+                *path_count += 1;
+            } else {
+                learnt.push(q);
+            }
+        }
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first), the backtrack level, and the clause's LBD.
-    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::UNDEF]; // slot 0 for the UIP
         let mut path_count = 0u32;
         let mut p = Lit::UNDEF;
         let mut index = self.trail.len();
+        let mut cur = confl;
 
         loop {
-            debug_assert!(!confl.is_undef(), "reason must exist on the path");
-            self.bump_clause(confl);
-            let start = if p == Lit::UNDEF { 0 } else { 1 };
-            // Walk the clause by index (excluding the resolved literal at
-            // slot 0): arena access is a plain load, so no literal copy-out
-            // is needed around the activity bumps.
-            for k in start..self.db.clause_len(confl) {
-                let q = self.db.lit(confl, k);
-                let v = q.var() as usize;
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(q.var());
-                    if self.level[v] >= self.decision_level() {
-                        path_count += 1;
-                    } else {
-                        learnt.push(q);
+            match cur {
+                Conflict::Clause(cref) => {
+                    self.bump_clause(cref);
+                    // Walk the clause by index (excluding the resolved
+                    // literal at slot 0): arena access is a plain load, so
+                    // no literal copy-out is needed around the bumps.
+                    let start = if p == Lit::UNDEF { 0 } else { 1 };
+                    for k in start..self.db.clause_len(cref) {
+                        let q = self.db.lit(cref, k);
+                        self.analyze_visit(q, &mut path_count, &mut learnt);
                     }
+                }
+                Conflict::Binary(a, b) => {
+                    // Inline binary antecedent: no arena record to bump;
+                    // `a` is the resolved literal once p is set.
+                    if p == Lit::UNDEF {
+                        self.analyze_visit(a, &mut path_count, &mut learnt);
+                    }
+                    self.analyze_visit(b, &mut path_count, &mut learnt);
                 }
             }
             // Next literal to resolve on: last seen literal on the trail.
@@ -375,12 +459,16 @@ impl Solver {
                 }
             }
             p = self.trail[index];
-            confl = self.reason[p.var() as usize];
             self.seen[p.var() as usize] = false;
             path_count -= 1;
             if path_count == 0 {
                 break;
             }
+            cur = match self.reason[p.var() as usize] {
+                Reason::Clause(cref) => Conflict::Clause(cref),
+                Reason::Binary(other) => Conflict::Binary(p, other),
+                Reason::Decision => unreachable!("reason must exist on the path"),
+            };
         }
         learnt[0] = !p;
 
@@ -393,7 +481,9 @@ impl Solver {
         let mut kept = vec![learnt[0]];
         for idx in 1..learnt.len() {
             let l = learnt[idx];
-            if self.reason[l.var() as usize].is_undef() || !self.lit_redundant(l, abstract_levels) {
+            if self.reason[l.var() as usize].is_decision()
+                || !self.lit_redundant(l, abstract_levels)
+            {
                 kept.push(l);
             }
         }
@@ -433,30 +523,52 @@ impl Solver {
         self.analyze_stack.push(l);
         let mut pending: Vec<Var> = Vec::new();
         while let Some(q) = self.analyze_stack.pop() {
-            let reason = self.reason[q.var() as usize];
-            debug_assert!(!reason.is_undef());
-            for &r in &self.db.lits(reason)[1..] {
-                let v = r.var() as usize;
-                if self.seen[v] || self.level[v] == 0 {
-                    continue;
-                }
-                if self.reason[v].is_undef()
-                    || level_abstraction(self.level[v]) & abstract_levels == 0
-                {
-                    // Hit a decision or a level outside the clause: not
-                    // redundant. Roll back the speculative seen marks.
-                    for v in pending {
-                        self.seen[v as usize] = false;
+            // Expand q's antecedent (slot 0 / the implied literal excluded).
+            let expanded = match self.reason[q.var() as usize] {
+                Reason::Decision => unreachable!("minimised literals are implied"),
+                Reason::Clause(cref) => {
+                    let mut ok = true;
+                    for k in 1..self.db.clause_len(cref) {
+                        let r = self.db.lit(cref, k);
+                        if !self.redundant_expand(r, abstract_levels, &mut pending) {
+                            ok = false;
+                            break;
+                        }
                     }
-                    return false;
+                    ok
                 }
-                self.seen[v] = true;
-                pending.push(r.var());
-                self.analyze_stack.push(r);
+                Reason::Binary(other) => {
+                    self.redundant_expand(other, abstract_levels, &mut pending)
+                }
+            };
+            if !expanded {
+                // Hit a decision or a level outside the clause: not
+                // redundant. Roll back the speculative seen marks.
+                for v in pending {
+                    self.seen[v as usize] = false;
+                }
+                return false;
             }
         }
         // Keep speculative marks; record them for final cleanup.
         self.analyze_clear.extend(pending);
+        true
+    }
+
+    /// One antecedent literal of the redundancy DFS: pushes it for further
+    /// expansion, or reports `false` when it proves `l` irredundant.
+    #[inline]
+    fn redundant_expand(&mut self, r: Lit, abstract_levels: u64, pending: &mut Vec<Var>) -> bool {
+        let v = r.var() as usize;
+        if self.seen[v] || self.level[v] == 0 {
+            return true;
+        }
+        if self.reason[v].is_decision() || level_abstraction(self.level[v]) & abstract_levels == 0 {
+            return false;
+        }
+        self.seen[v] = true;
+        pending.push(r.var());
+        self.analyze_stack.push(r);
         true
     }
 
@@ -482,7 +594,7 @@ impl Solver {
                 self.phase[v] = l.is_positive();
             }
             self.assigns[v] = LBool::Undef;
-            self.reason[v] = ClauseRef::UNDEF;
+            self.reason[v] = Reason::Decision;
             if !self.order.contains(l.var()) {
                 self.order.insert(l.var(), &self.activity);
             }
@@ -532,7 +644,7 @@ impl Solver {
     /// True if a reason clause is locked (is the reason of its first lit).
     fn locked(&self, cref: ClauseRef) -> bool {
         let l0 = self.db.lit(cref, 0);
-        self.value(l0) == LBool::True && self.reason[l0.var() as usize] == cref
+        self.value(l0) == LBool::True && self.reason[l0.var() as usize] == Reason::Clause(cref)
     }
 
     fn reduce_db(&mut self) {
@@ -589,7 +701,9 @@ impl Solver {
     /// and reason references through forwarding offsets (see
     /// [`ClauseDb::reloc`]). Every live clause is watched exactly twice,
     /// so relocating via the watch lists covers the whole database;
-    /// reasons are a subset and resolve through the forwards.
+    /// reasons are a subset and resolve through the forwards. The binary
+    /// tier holds no arena references at all — binary clauses and binary
+    /// reasons are immune to relocation by construction.
     fn garbage_collect(&mut self) {
         let mut to = self.db.start_collect();
         for ws in &mut self.watches {
@@ -598,23 +712,32 @@ impl Solver {
             }
         }
         for r in &mut self.reason {
-            if !r.is_undef() {
-                self.db.reloc(r, &mut to);
+            if let Reason::Clause(cref) = r {
+                self.db.reloc(cref, &mut to);
             }
         }
         debug_assert_eq!(to.len(), self.db.len(), "live clauses must survive GC");
         self.db = to;
         self.stats.gcs += 1;
+        #[cfg(debug_assertions)]
+        self.assert_integrity();
     }
 
-    /// Validates the watch/reason invariants against the clause arena.
+    /// Validates the two-tier watch/reason invariants against the clause
+    /// arena.
     ///
-    /// Test-suite hook (GC-under-load differential tests): panics with a
+    /// Test-suite hook (GC-under-load differential tests; also invoked
+    /// after every in-search GC under `debug_assertions`): panics with a
     /// description on the first violated invariant. Checked invariants:
-    /// every live clause is watched exactly twice, on the negations of its
-    /// first two literals; every watcher points at a live clause with a
-    /// matching watched literal and an in-clause blocker; every recorded
-    /// reason is a live clause whose slot-0 literal is the implied one.
+    /// every live arena clause has at least three literals and is watched
+    /// exactly twice, on the negations of its first two literals; every
+    /// watcher points at a live clause with a matching watched literal and
+    /// an in-clause blocker; every binary-tier entry has its mirror entry
+    /// (both directions of the implication are attached) and the tier's
+    /// size matches the attached-binary count; every clause reason is a
+    /// live arena clause whose slot-0 literal is the implied one; every
+    /// binary reason's antecedent is false and its clause is present in
+    /// the binary tier.
     #[doc(hidden)]
     pub fn assert_integrity(&self) {
         let mut watch_count: std::collections::HashMap<ClauseRef, usize> =
@@ -623,6 +746,10 @@ impl Solver {
             let lit = Lit::from_index(idx); // list fires when `lit` becomes true
             for w in &self.watches[idx] {
                 let lits = self.db.lits(w.cref);
+                assert!(
+                    lits.len() >= 3,
+                    "arena clause {lits:?} short enough for the binary tier"
+                );
                 assert!(
                     !lits[0] == lit || !lits[1] == lit,
                     "watcher of {lit:?} not on a watched slot: {lits:?}"
@@ -650,8 +777,28 @@ impl Solver {
             live,
             "watcher points at a deleted clause"
         );
+        // Binary tier: entry `other` on list `lit` encodes clause
+        // (¬lit ∨ other); its mirror entry ¬lit must sit on (¬other)'s
+        // list, and the total entry count is two per attached clause.
+        let mut binary_entries = 0usize;
+        for idx in 0..self.binary_watches.len() {
+            let lit = Lit::from_index(idx);
+            for &other in &self.binary_watches[idx] {
+                binary_entries += 1;
+                assert_ne!(other.var(), lit.var(), "degenerate binary clause");
+                assert!(
+                    self.binary_watches[(!other).index()].contains(&!lit),
+                    "binary implication {lit:?} -> {other:?} lacks its mirror"
+                );
+            }
+        }
+        assert_eq!(
+            binary_entries,
+            2 * self.num_binary,
+            "binary tier entry count drifted"
+        );
         for (v, &r) in self.reason.iter().enumerate() {
-            if r.is_undef() {
+            if r.is_decision() {
                 continue;
             }
             assert_ne!(
@@ -659,13 +806,30 @@ impl Solver {
                 LBool::Undef,
                 "unassigned var {v} holds a reason"
             );
-            let l0 = self.db.lit(r, 0);
-            assert_eq!(
-                l0.var() as usize,
-                v,
-                "reason of var {v} must imply it at slot 0"
-            );
-            assert_eq!(self.value(l0), LBool::True, "implied literal not true");
+            let implied = Lit::new(v as Var, self.assigns[v] == LBool::True);
+            match r {
+                Reason::Decision => unreachable!(),
+                Reason::Clause(cref) => {
+                    let l0 = self.db.lit(cref, 0);
+                    assert_eq!(
+                        l0.var() as usize,
+                        v,
+                        "reason of var {v} must imply it at slot 0"
+                    );
+                    assert_eq!(self.value(l0), LBool::True, "implied literal not true");
+                }
+                Reason::Binary(other) => {
+                    assert_eq!(
+                        self.value(other),
+                        LBool::False,
+                        "binary reason antecedent of var {v} must be false"
+                    );
+                    assert!(
+                        self.binary_watches[(!other).index()].contains(&implied),
+                        "binary reason ({implied:?} ∨ {other:?}) not in the tier"
+                    );
+                }
+            }
         }
     }
 
@@ -726,13 +890,21 @@ impl Solver {
                 }
                 let (learnt, bt, lbd) = self.analyze(confl);
                 self.backtrack(bt);
-                if learnt.len() == 1 {
-                    self.unchecked_enqueue(learnt[0], ClauseRef::UNDEF);
-                } else {
-                    let asserting = learnt[0];
-                    let cref = self.db.add(&learnt, true, lbd);
-                    self.attach(cref);
-                    self.unchecked_enqueue(asserting, cref);
+                match learnt.len() {
+                    1 => self.unchecked_enqueue(learnt[0], Reason::Decision),
+                    2 => {
+                        // Two-literal learnts go straight to the binary
+                        // tier: no arena record, never a reduction or GC
+                        // candidate, asserted with an inline reason.
+                        self.attach_binary(learnt[0], learnt[1]);
+                        self.unchecked_enqueue(learnt[0], Reason::Binary(learnt[1]));
+                    }
+                    _ => {
+                        let asserting = learnt[0];
+                        let cref = self.db.add(&learnt, true, lbd);
+                        self.attach(cref);
+                        self.unchecked_enqueue(asserting, Reason::Clause(cref));
+                    }
                 }
                 self.stats.learnt_clauses += 1;
                 self.decay_activities();
@@ -772,7 +944,7 @@ impl Solver {
                         LBool::Undef => {
                             self.stats.decisions += 1;
                             self.trail_lim.push(self.trail.len());
-                            self.unchecked_enqueue(a, ClauseRef::UNDEF);
+                            self.unchecked_enqueue(a, Reason::Decision);
                         }
                     }
                     continue;
@@ -795,7 +967,7 @@ impl Solver {
                         }
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
-                        self.unchecked_enqueue(l, ClauseRef::UNDEF);
+                        self.unchecked_enqueue(l, Reason::Decision);
                     }
                 }
             }
@@ -855,6 +1027,59 @@ mod tests {
         check_sat(&[&[1]]);
         check_sat(&[&[1, 2], &[-1, 2], &[1, -2]]);
         check_unsat(&[&[1], &[-1]]);
+    }
+
+    #[test]
+    fn binary_tier_holds_problem_and_learnt_twos() {
+        // An implication ladder is pure binary: nothing may reach the
+        // arena. The unit comes last so the ladder is attached (not
+        // simplified away) and the forcing runs through the binary tier.
+        let f = cnf_of(&[&[-1, 2], &[-2, 3], &[-3, 4], &[1]]);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        assert_eq!(s.db.len(), 0, "binary clauses must bypass the arena");
+        assert_eq!(s.num_binary, 3);
+        let r = s.solve();
+        assert!(r.is_sat());
+        assert_eq!(r.model(), Some(&[true, true, true, true][..]));
+        s.assert_integrity();
+    }
+
+    #[test]
+    fn binary_implication_cycle_unsat() {
+        // 1 -> 2 -> 3 -> ¬1 with 1 forced: conflict entirely inside the
+        // binary tier, including analysis over inline reasons.
+        check_unsat(&[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]);
+    }
+
+    #[test]
+    fn learnt_binaries_survive_reduction() {
+        // An aggressive reduction cadence on php(6): learnt 2-clauses live
+        // in the binary tier and must never be deleted or relocated.
+        let mut cfg = SolverConfig::kissat_like();
+        cfg.reduce_first = 30;
+        cfg.reduce_increment = 15;
+        let mut s = Solver::from_cnf(&workloads_php(6), cfg);
+        assert!(s.solve().is_unsat());
+        s.assert_integrity();
+    }
+
+    /// Local pigeonhole generator (the workloads crate sits above `sat` in
+    /// the dependency DAG, so the solver tests build their own).
+    fn workloads_php(holes: u32) -> Cnf {
+        let pigeons = holes + 1;
+        let var = |p: u32, h: u32| p * holes + h + 1;
+        let mut f = Cnf::new();
+        for p in 0..pigeons {
+            f.add_clause((0..holes).map(|h| CnfLit::pos(var(p, h))).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    f.add_clause(vec![CnfLit::neg(var(p1, h)), CnfLit::neg(var(p2, h))]);
+                }
+            }
+        }
+        f
     }
 
     #[test]

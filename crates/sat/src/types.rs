@@ -129,8 +129,8 @@ pub struct ClauseRef(pub(crate) u32);
 impl ClauseRef {
     /// Sentinel for "no reason clause" (decision or unassigned).
     pub const UNDEF: ClauseRef = ClauseRef(u32::MAX);
-    /// Sentinel reason for literals implied by a binary clause; the other
-    /// literal is stored inline in the reason table.
+
+    /// True for the [`ClauseRef::UNDEF`] sentinel.
     pub(crate) fn is_undef(self) -> bool {
         self == ClauseRef::UNDEF
     }
@@ -143,6 +143,31 @@ impl fmt::Debug for ClauseRef {
         } else {
             write!(f, "CRef({})", self.0)
         }
+    }
+}
+
+/// Why a variable holds its assignment.
+///
+/// Binary clauses live outside the arena (see the solver's two-tier watch
+/// scheme), so a binary implication's antecedent is the *other* literal of
+/// the clause stored inline — conflict analysis resolves over it without
+/// an arena load, and garbage collection never has to remap it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reason {
+    /// Decision, assumption, or unassigned.
+    Decision,
+    /// Implied by an arena clause whose slot-0 literal is the implied one.
+    Clause(ClauseRef),
+    /// Implied by a binary clause; the payload is the clause's other
+    /// literal (false under the assignment that forced the implication).
+    Binary(Lit),
+}
+
+impl Reason {
+    /// True for [`Reason::Decision`].
+    #[inline]
+    pub(crate) fn is_decision(self) -> bool {
+        matches!(self, Reason::Decision)
     }
 }
 
@@ -168,6 +193,14 @@ mod tests {
             let c = cnf::CnfLit::from_dimacs(raw);
             assert_eq!(Lit::from_cnf(c).to_cnf(), c);
         }
+    }
+
+    #[test]
+    fn reason_tags() {
+        assert!(Reason::Decision.is_decision());
+        assert!(!Reason::Clause(ClauseRef(0)).is_decision());
+        assert!(!Reason::Binary(Lit::new(0, true)).is_decision());
+        assert_ne!(Reason::Clause(ClauseRef(4)), Reason::Clause(ClauseRef(8)));
     }
 
     #[test]

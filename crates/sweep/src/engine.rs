@@ -232,6 +232,12 @@ impl PairOracle {
                     .solve_with_assumptions(&[if phase { !a } else { a }])
             }
         };
+        // Paranoia: the oracle leans on incremental solving — gadget
+        // binaries in the inline tier, long learnts churning through
+        // reduction/GC between queries — so audit the two-tier
+        // watcher/reason invariants after every query in debug builds.
+        #[cfg(debug_assertions)]
+        self.solver.assert_integrity();
         match result {
             SolveResult::Unsat => Answer::Equivalent,
             SolveResult::Sat(model) => Answer::Different(vmap.decode_inputs(&model)),

@@ -45,9 +45,45 @@ pub fn random_3sat(n: u32, ratio: f64, seed: u64) -> Cnf {
     f
 }
 
+/// Uniform random 2-SAT over `n` variables at the given clause/variable
+/// ratio (the SAT/UNSAT threshold sits at 1.0). Deterministic for a fixed
+/// seed. Every clause is binary, so the whole instance lives in the
+/// solver's inline binary tier — the canonical stressor for the
+/// binary-watcher propagation path.
+///
+/// # Panics
+/// Panics if `n < 2` (a binary clause needs two distinct variables).
+pub fn random_2sat(n: u32, ratio: f64, seed: u64) -> Cnf {
+    assert!(n >= 2, "binary clauses need two distinct variables");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new();
+    f.ensure_vars(n);
+    for _ in 0..(n as f64 * ratio) as usize {
+        let a = rng.gen_range(1..=n);
+        let mut b = rng.gen_range(1..=n);
+        while b == a {
+            b = rng.gen_range(1..=n);
+        }
+        f.add_clause(vec![CnfLit::new(a, rng.gen()), CnfLit::new(b, rng.gen())]);
+    }
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn random_2sat_deterministic_and_all_binary() {
+        let a = random_2sat(50, 1.5, 11);
+        let b = random_2sat(50, 1.5, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.num_clauses(), 75);
+        for c in a.clauses() {
+            assert_eq!(c.len(), 2);
+            assert_ne!(c[0].var(), c[1].var());
+        }
+    }
 
     #[test]
     fn pigeonhole_shape() {

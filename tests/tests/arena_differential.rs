@@ -92,6 +92,109 @@ proptest! {
 }
 
 #[test]
+fn binary_tier_agrees_with_dpll_on_random_2sat() {
+    // Pure 2-SAT (plus occasional units): every clause lives in the inline
+    // binary tier, so propagation, conflict analysis, and minimisation all
+    // run on literal-valued reasons. Densities straddle the 2-SAT
+    // SAT/UNSAT threshold (m/n = 1) to exercise both verdicts.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB1A2);
+    for iter in 0..300 {
+        let n = rng.gen_range(3..=14);
+        let m = rng.gen_range(2..=(n as usize * 3));
+        let f = random_cnf(&mut rng, n, m, 2);
+        let expected = dpll_sat(&f);
+        for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
+            let mut solver = Solver::from_cnf(&f, cfg);
+            let res = solver.solve();
+            solver.assert_integrity();
+            assert_eq!(res.is_sat(), expected, "iter {iter}");
+            if let SolveResult::Sat(model) = &res {
+                assert!(f.eval(model), "iter {iter}: invalid model");
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_tier_handles_chains_and_implication_cycles() {
+    // Structured binary workloads: long implication chains, consistent
+    // cycles (all-equal loops), and contradictory cycles (x -> ... -> ¬x
+    // with x forced). Everything resolves inside the binary tier.
+    let chain = |f: &mut Cnf, from: u32, to: u32| {
+        f.add_clause(vec![CnfLit::neg(from), CnfLit::pos(to)]); // from -> to
+    };
+
+    // A 64-long chain forced from the front: SAT, fully propagated.
+    let mut f = Cnf::new();
+    for i in 1..64 {
+        chain(&mut f, i, i + 1);
+    }
+    f.add_unit(CnfLit::pos(1));
+    let mut s = Solver::from_cnf(&f, SolverConfig::default());
+    let res = s.solve();
+    s.assert_integrity();
+    match res {
+        SolveResult::Sat(m) => assert!(m[..64].iter().all(|&b| b), "chain forces all"),
+        other => panic!("expected SAT, got {other:?}"),
+    }
+
+    // An implication cycle is consistent (all-equal) ...
+    let mut g = Cnf::new();
+    for i in 1..=8 {
+        chain(&mut g, i, i % 8 + 1);
+    }
+    assert!(dpll_sat(&g));
+    let (res, _) = solve_cnf(&g, SolverConfig::default(), Budget::UNLIMITED);
+    assert!(res.is_sat());
+
+    // ... until one edge is flipped into x1 -> ... -> ¬x1 and x1 is
+    // forced: the strongly connected component is contradictory.
+    g.add_clause(vec![CnfLit::neg(8), CnfLit::neg(1)]);
+    g.add_unit(CnfLit::pos(1));
+    assert!(!dpll_sat(&g));
+    let mut s = Solver::from_cnf(&g, SolverConfig::default());
+    let res = s.solve();
+    s.assert_integrity();
+    assert!(res.is_unsat(), "contradictory implication cycle");
+}
+
+#[test]
+fn mixed_binary_and_long_clauses_reduce_and_collect_soundly() {
+    // Binary-heavy mixtures under an aggressive reduction cadence: learnt
+    // twos go to the inline tier (never deleted), long learnts churn
+    // through reduce + GC, and the verdict must still match DPLL.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x2B1D);
+    let mut cfg = SolverConfig::kissat_like();
+    cfg.reduce_first = 50;
+    cfg.reduce_increment = 25;
+    for iter in 0..40 {
+        let n = rng.gen_range(8..=16);
+        let mut f = Cnf::new();
+        f.ensure_vars(n);
+        // ~2/3 binary clauses, ~1/3 ternary.
+        for _ in 0..(n as usize * 4) {
+            let len = if rng.gen_range(0..3) < 2 { 2 } else { 3 };
+            let mut clause: Vec<CnfLit> = Vec::new();
+            while clause.len() < len {
+                let v = rng.gen_range(1..=n);
+                if clause.iter().all(|l| l.var() != v) {
+                    clause.push(CnfLit::new(v, rng.gen()));
+                }
+            }
+            f.add_clause(clause);
+        }
+        let expected = dpll_sat(&f);
+        let mut solver = Solver::from_cnf(&f, cfg.clone());
+        let res = solver.solve();
+        solver.assert_integrity();
+        assert_eq!(res.is_sat(), expected, "iter {iter}");
+        if let SolveResult::Sat(model) = &res {
+            assert!(f.eval(model), "iter {iter}: invalid model");
+        }
+    }
+}
+
+#[test]
 fn gc_under_load_keeps_watches_and_reasons_intact() {
     // An aggressive reduction cadence forces many delete + compact cycles
     // while the solver is mid-proof; interrupting on a conflict budget

@@ -1,0 +1,126 @@
+//! Adversarial regression suite for the DIMACS front door — the only
+//! untrusted input surface of the pipeline (`csat` bin, workload corpora).
+//! Every malformed shape must come back as a clean `ParseDimacsError`,
+//! never a panic, and well-formed input must round-trip through the
+//! writer byte-for-value.
+
+use cnf::dimacs::{from_dimacs_str, to_dimacs_string, ParseDimacsError};
+use cnf::{Cnf, CnfLit};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn expect_malformed(input: &str, why: &str) {
+    match from_dimacs_str(input) {
+        Err(ParseDimacsError::Malformed(_)) => {}
+        Err(other) => panic!("{why}: expected Malformed, got {other}"),
+        Ok(f) => panic!(
+            "{why}: parser accepted bad input ({} vars, {} clauses)",
+            f.num_vars(),
+            f.num_clauses()
+        ),
+    }
+}
+
+#[test]
+fn glued_header_token_rejected() {
+    // `p` must be its own whitespace-delimited token.
+    expect_malformed("pcnf 2 1\n1 -2 0\n", "glued pcnf header");
+    expect_malformed("p cnf2 1\n1 0\n", "glued format token");
+    // The well-formed spelling of the same instance parses.
+    let f = from_dimacs_str("p cnf 2 1\n1 -2 0\n").unwrap();
+    assert_eq!((f.num_vars(), f.num_clauses()), (2, 1));
+    // Arbitrary whitespace between header tokens is fine.
+    let g = from_dimacs_str("p   cnf\t2   1\n1 -2 0\n").unwrap();
+    assert_eq!(f, g);
+}
+
+#[test]
+fn extreme_literals_rejected_not_panicking() {
+    // i32::MIN parses as an i32 but its negation overflows: must be a
+    // parse error, not a downstream panic or wrap.
+    expect_malformed("p cnf 3 1\n-2147483648 0\n", "i32::MIN literal");
+    expect_malformed("-2147483648 0\n", "i32::MIN literal, headerless");
+    // Magnitudes beyond i32 fail integer parsing.
+    expect_malformed("2147483648 0\n", "literal beyond i32::MAX");
+    expect_malformed("99999999999999999999 0\n", "absurd literal");
+    // i32::MAX itself is representable and accepted.
+    let f = from_dimacs_str("2147483647 0\n").unwrap();
+    assert_eq!(f.num_vars(), i32::MAX as u32);
+}
+
+#[test]
+fn clause_count_mismatch_rejected() {
+    expect_malformed("p cnf 2 2\n1 -2 0\n", "fewer clauses than declared");
+    expect_malformed("p cnf 2 1\n1 0\n-2 0\n", "more clauses than declared");
+    expect_malformed("p cnf 2 0\n1 0\n", "clauses after a zero declaration");
+    // The declared count is checked against clauses as *parsed*: a
+    // tautology is normalised away by `Cnf`, but still counts.
+    let f = from_dimacs_str("p cnf 2 2\n1 -1 0\n2 0\n").unwrap();
+    assert_eq!(f.num_clauses(), 1, "tautology dropped after counting");
+}
+
+#[test]
+fn duplicate_and_junk_headers_rejected() {
+    expect_malformed("p cnf 2 1\np cnf 2 1\n1 -2 0\n", "duplicate header");
+    expect_malformed("p cnf 2 1 7\n1 -2 0\n", "trailing token in header");
+    expect_malformed("p cnf -2 1\n1 0\n", "negative variable count");
+    // A header alone must not be able to command a per-variable
+    // allocation: counts beyond i32::MAX (the literal range) are rejected.
+    expect_malformed("p cnf 4294967295 0\n", "variable count beyond i32::MAX");
+    expect_malformed("p dnf 1 1\n1 0\n", "wrong format name");
+    expect_malformed("p\n", "bare p line");
+}
+
+#[test]
+fn crlf_and_whitespace_variants_parse() {
+    let f = from_dimacs_str("c comment\r\np cnf 3 2\r\n1 -2 0\r\n2 3 0\r\n").unwrap();
+    assert_eq!((f.num_vars(), f.num_clauses()), (3, 2));
+    // Clause split across CRLF lines.
+    let g = from_dimacs_str("p cnf 3 2\r\n1\r\n-2 0\r\n2 3 0\r\n").unwrap();
+    assert_eq!(f, g);
+    // Mixed endings and trailing blank lines.
+    let h = from_dimacs_str("p cnf 3 2\n1 -2 0\r\n2 3 0\n\r\n\n").unwrap();
+    assert_eq!(f, h);
+}
+
+#[test]
+fn unterminated_and_zero_literals_rejected() {
+    expect_malformed("p cnf 2 1\n1 -2\n", "missing terminating zero");
+    expect_malformed("1 2 3\n", "headerless unterminated clause");
+    expect_malformed("p cnf 1 1\n2 0\n", "variable beyond declared count");
+    expect_malformed("p cnf 2 1\n1 x 0\n", "non-integer literal");
+}
+
+fn random_formula(seed: u64) -> Cnf {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=24u32);
+    let m = rng.gen_range(0..=40usize);
+    let mut f = Cnf::new();
+    f.ensure_vars(n);
+    for _ in 0..m {
+        let len = rng.gen_range(1..=4.min(n as usize));
+        let mut clause: Vec<CnfLit> = Vec::new();
+        while clause.len() < len {
+            let v = rng.gen_range(1..=n);
+            if clause.iter().all(|l| l.var() != v) {
+                clause.push(CnfLit::new(v, rng.gen()));
+            }
+        }
+        f.add_clause(clause);
+    }
+    f
+}
+
+proptest! {
+    /// write → read is the identity on normalised formulas: the writer's
+    /// header always matches what the hardened reader validates.
+    #[test]
+    fn write_read_roundtrip(seed in any::<u64>()) {
+        let f = random_formula(seed);
+        let text = to_dimacs_string(&f);
+        let g = from_dimacs_str(&text).expect("writer output must parse");
+        prop_assert_eq!(&f, &g);
+        // And a second lap is stable.
+        prop_assert_eq!(to_dimacs_string(&g), text);
+    }
+}
