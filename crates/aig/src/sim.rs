@@ -111,41 +111,7 @@ impl SimVectors {
     /// # Panics
     /// Panics if `pi_words.len() != aig.num_pis()` or `w >= n_words`.
     pub fn simulate_column(&mut self, aig: &Aig, w: usize, pi_words: &[u64]) {
-        assert_eq!(
-            pi_words.len(),
-            aig.num_pis(),
-            "one simulation word per PI required"
-        );
-        assert!(w < self.n_words, "column out of range");
-        debug_assert_eq!(self.n_rows(), aig.num_nodes(), "one row per node");
-        // Simulate densely into the scratch column — fanin loads stay in a
-        // contiguous, cache-resident buffer — then scatter into the strided
-        // matrix with one linear pass. Simulating straight into the matrix
-        // would touch a full cache line per fanin read.
-        let mut val = std::mem::take(&mut self.scratch);
-        val.clear();
-        val.resize(aig.num_nodes(), 0);
-        for (i, &pi) in aig.pis().iter().enumerate() {
-            val[pi as usize] = pi_words[i];
-        }
-        for v in aig.iter_ands() {
-            let n = aig.node(v);
-            let (f0, f1) = (n.fanin0(), n.fanin1());
-            let mut a = val[f0.var() as usize];
-            if f0.is_compl() {
-                a = !a;
-            }
-            let mut b = val[f1.var() as usize];
-            if f1.is_compl() {
-                b = !b;
-            }
-            val[v as usize] = a & b;
-        }
-        let stride = self.n_words;
-        for (v, &x) in val.iter().enumerate() {
-            self.words[v * stride + w] = x;
-        }
-        self.scratch = val;
+        self.simulate_block(aig, w, 1, pi_words);
     }
 
     /// Simulates `nb` consecutive columns (`w0 .. w0 + nb`) in one blocked
@@ -160,41 +126,54 @@ impl SimVectors {
     /// Panics if `pi_block.len() != aig.num_pis() * nb` or the column range
     /// is out of bounds.
     pub fn simulate_block(&mut self, aig: &Aig, w0: usize, nb: usize, pi_block: &[u64]) {
-        assert_eq!(
-            pi_block.len(),
-            aig.num_pis() * nb,
-            "nb simulation words per PI required"
-        );
         assert!(w0 + nb <= self.n_words, "column range out of bounds");
         debug_assert_eq!(self.n_rows(), aig.num_nodes(), "one row per node");
-        let n = aig.num_nodes();
         let mut val = std::mem::take(&mut self.scratch);
-        val.clear();
-        val.resize(n * nb, 0);
-        for (i, &pi) in aig.pis().iter().enumerate() {
-            val[pi as usize * nb..(pi as usize + 1) * nb]
-                .copy_from_slice(&pi_block[i * nb..(i + 1) * nb]);
-        }
-        for v in aig.iter_ands() {
-            let node = aig.node(v);
-            let (f0, f1) = (node.fanin0(), node.fanin1());
-            let m0 = if f0.is_compl() { !0u64 } else { 0 };
-            let m1 = if f1.is_compl() { !0u64 } else { 0 };
-            let (i0, i1, iv) = (
-                f0.var() as usize * nb,
-                f1.var() as usize * nb,
-                v as usize * nb,
-            );
-            for j in 0..nb {
-                val[iv + j] = (val[i0 + j] ^ m0) & (val[i1 + j] ^ m1);
-            }
-        }
+        sim_dense_block(aig, nb, pi_block, &mut val);
         let stride = self.n_words;
-        for v in 0..n {
+        for v in 0..aig.num_nodes() {
             self.words[v * stride + w0..v * stride + w0 + nb]
                 .copy_from_slice(&val[v * nb..(v + 1) * nb]);
         }
         self.scratch = val;
+    }
+}
+
+/// Evaluates every node on `nb` words per PI into a dense node-major buffer
+/// (`val[v * nb + j]` = word `j` of node `v`), reusing `val`'s allocation.
+///
+/// This is the simulation kernel proper: fanin loads stay in a contiguous,
+/// cache-resident buffer; scattering into a strided signature matrix is the
+/// caller's (cheap, linear) job. Free-standing so parallel column workers
+/// can run it on private buffers.
+///
+/// # Panics
+/// Panics if `pi_block.len() != aig.num_pis() * nb`.
+fn sim_dense_block(aig: &Aig, nb: usize, pi_block: &[u64], val: &mut Vec<u64>) {
+    assert_eq!(
+        pi_block.len(),
+        aig.num_pis() * nb,
+        "nb simulation words per PI required"
+    );
+    val.clear();
+    val.resize(aig.num_nodes() * nb, 0);
+    for (i, &pi) in aig.pis().iter().enumerate() {
+        val[pi as usize * nb..(pi as usize + 1) * nb]
+            .copy_from_slice(&pi_block[i * nb..(i + 1) * nb]);
+    }
+    for v in aig.iter_ands() {
+        let node = aig.node(v);
+        let (f0, f1) = (node.fanin0(), node.fanin1());
+        let m0 = if f0.is_compl() { !0u64 } else { 0 };
+        let m1 = if f1.is_compl() { !0u64 } else { 0 };
+        let (i0, i1, iv) = (
+            f0.var() as usize * nb,
+            f1.var() as usize * nb,
+            v as usize * nb,
+        );
+        for j in 0..nb {
+            val[iv + j] = (val[i0 + j] ^ m0) & (val[i1 + j] ^ m1);
+        }
     }
 }
 
@@ -231,22 +210,179 @@ pub fn random_signatures_into(aig: &Aig, n_words: usize, seed: u64, sigs: &mut S
     random_columns(aig, sigs, 0, n_words, seed);
 }
 
+/// Decorrelates a per-block random stream from the base seed (splitmix64
+/// finalizer). Seeding every block independently — instead of drawing one
+/// sequential stream — is what lets parallel workers produce the same
+/// patterns as a sequential pass: block `b`'s words depend only on
+/// `(seed, b)`, never on who simulated block `b - 1`.
+#[inline]
+fn block_seed(seed: u64, block: u64) -> u64 {
+    let mut z = seed ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Fills columns `w0 .. w0 + n_cols` of an already-shaped matrix with
 /// uniformly random patterns, in blocked passes. Deterministic for a
 /// fixed seed; shared by the signature producers and the sweep engine's
-/// per-round resimulation.
+/// per-round resimulation. Equivalent to [`random_columns_par`] with one
+/// thread.
 pub fn random_columns(aig: &Aig, sigs: &mut SimVectors, w0: usize, n_cols: usize, seed: u64) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut pi_block = vec![0u64; aig.num_pis() * SIM_BLOCK];
-    let mut w = w0;
-    while w < w0 + n_cols {
-        let nb = SIM_BLOCK.min(w0 + n_cols - w);
-        for p in pi_block[..aig.num_pis() * nb].iter_mut() {
-            *p = rng.gen();
-        }
-        sigs.simulate_block(aig, w, nb, &pi_block[..aig.num_pis() * nb]);
-        w += nb;
+    random_columns_par(aig, sigs, w0, n_cols, seed, 1);
+}
+
+/// Fills one random block's PI words from its private stream.
+fn fill_pi_block(pi_block: &mut [u64], seed: u64, block: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(block_seed(seed, block));
+    for p in pi_block.iter_mut() {
+        *p = rng.gen();
     }
+}
+
+/// Shares the signature matrix's word buffer with column workers.
+///
+/// Safety contract (upheld by the producers below): every worker writes a
+/// *disjoint* set of columns, all within the buffer, and the matrix is not
+/// read until the scope joins — so the raw writes never alias.
+struct ColumnCursor(*mut u64);
+unsafe impl Sync for ColumnCursor {}
+
+/// [`random_columns`] split across up to `threads` worker threads.
+///
+/// Blocks of [`SIM_BLOCK`] columns are dealt round-robin to the workers;
+/// each block's patterns come from a private RNG stream keyed by
+/// `(seed, block index)`, and each worker simulates into a private dense
+/// buffer before scattering into its own columns of the strided matrix.
+/// The strided layout makes those writes disjoint, so the result is
+/// bit-identical for every thread count, one included.
+pub fn random_columns_par(
+    aig: &Aig,
+    sigs: &mut SimVectors,
+    w0: usize,
+    n_cols: usize,
+    seed: u64,
+    threads: usize,
+) {
+    // Block descriptors: (start column, width); the block index used for
+    // seeding is the position in this list, so the stream layout is
+    // independent of how the blocks are later scheduled.
+    let blocks: Vec<(usize, usize)> = {
+        let mut v = Vec::new();
+        let mut w = w0;
+        while w < w0 + n_cols {
+            let nb = SIM_BLOCK.min(w0 + n_cols - w);
+            v.push((w, nb));
+            w += nb;
+        }
+        v
+    };
+    let n_pis = aig.num_pis();
+    if threads <= 1 || blocks.len() <= 1 {
+        let mut pi_block = vec![0u64; n_pis * SIM_BLOCK];
+        for (b, &(w, nb)) in blocks.iter().enumerate() {
+            fill_pi_block(&mut pi_block[..n_pis * nb], seed, b as u64);
+            sigs.simulate_block(aig, w, nb, &pi_block[..n_pis * nb]);
+        }
+        return;
+    }
+    assert!(w0 + n_cols <= sigs.n_words, "column range out of bounds");
+    assert_eq!(sigs.n_rows(), aig.num_nodes(), "one row per node");
+    let n = aig.num_nodes();
+    let stride = sigs.n_words;
+    let workers = threads.min(blocks.len());
+    let cursor = ColumnCursor(sigs.words.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let cursor = &cursor;
+            let blocks = &blocks;
+            scope.spawn(move || {
+                let mut pi_block = vec![0u64; n_pis * SIM_BLOCK];
+                let mut val: Vec<u64> = Vec::new();
+                let mut b = t;
+                while b < blocks.len() {
+                    let (w, nb) = blocks[b];
+                    fill_pi_block(&mut pi_block[..n_pis * nb], seed, b as u64);
+                    sim_dense_block(aig, nb, &pi_block[..n_pis * nb], &mut val);
+                    // SAFETY: this worker owns columns `w .. w + nb` of
+                    // every row (blocks are disjoint, dealt round-robin),
+                    // and `v * stride + w + nb <= words.len()` by the
+                    // shape asserts above.
+                    unsafe {
+                        for v in 0..n {
+                            std::ptr::copy_nonoverlapping(
+                                val[v * nb..].as_ptr(),
+                                cursor.0.add(v * stride + w),
+                                nb,
+                            );
+                        }
+                    }
+                    b += workers;
+                }
+            });
+        }
+    });
+}
+
+/// Simulates a set of independent replay columns — `(column, PI words)`
+/// jobs — split across up to `threads` worker threads.
+///
+/// Used by the sweep engine to replay counterexample chunks: every job is
+/// one dense pass over the graph, so jobs parallelise perfectly. Columns
+/// must be distinct and in range; each worker scatters into its own
+/// columns only, so the result is bit-identical to running the jobs
+/// sequentially through [`SimVectors::simulate_column`].
+pub fn simulate_columns_par(
+    aig: &Aig,
+    sigs: &mut SimVectors,
+    jobs: &[(usize, &[u64])],
+    threads: usize,
+) {
+    if threads <= 1 || jobs.len() <= 1 {
+        for &(w, pi_words) in jobs {
+            sigs.simulate_column(aig, w, pi_words);
+        }
+        return;
+    }
+    for (i, &(w, _)) in jobs.iter().enumerate() {
+        assert!(w < sigs.n_words, "column out of range");
+        // Hard assert: distinctness is the disjointness guarantee the
+        // unsafe concurrent scatter below relies on — a duplicate column
+        // in a release build would be a data race, not just a wrong
+        // answer. One O(jobs²) scan is noise next to a dense simulation
+        // pass per job.
+        assert!(
+            jobs[..i].iter().all(|&(prev, _)| prev != w),
+            "replay columns must be distinct"
+        );
+    }
+    assert_eq!(sigs.n_rows(), aig.num_nodes(), "one row per node");
+    let n = aig.num_nodes();
+    let stride = sigs.n_words;
+    let workers = threads.min(jobs.len());
+    let cursor = ColumnCursor(sigs.words.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let cursor = &cursor;
+            scope.spawn(move || {
+                let mut val: Vec<u64> = Vec::new();
+                let mut j = t;
+                while j < jobs.len() {
+                    let (w, pi_words) = jobs[j];
+                    sim_dense_block(aig, 1, pi_words, &mut val);
+                    // SAFETY: columns are distinct and dealt round-robin,
+                    // so this worker's writes are disjoint from every
+                    // other's and in bounds by the asserts above.
+                    unsafe {
+                        for v in 0..n {
+                            *cursor.0.add(v * stride + w) = val[v];
+                        }
+                    }
+                    j += workers;
+                }
+            });
+        }
+    });
 }
 
 /// PO signatures over `n_words * 64` random patterns (complement applied).
@@ -410,5 +546,73 @@ mod tests {
         assert_eq!(or_word(1), 0b11);
         assert_eq!(sv.word(a.var() as usize, 1), 0b11);
         assert_eq!(sv.word(b.var() as usize, 1), 0);
+    }
+
+    /// A miter-ish graph big enough for several simulation blocks.
+    fn wide_graph() -> Aig {
+        let mut g = Aig::new();
+        let pis = g.add_pis(12);
+        let mut layer: Vec<crate::Lit> = pis.clone();
+        for r in 0..6 {
+            layer = layer
+                .windows(2)
+                .map(|w| {
+                    if r % 2 == 0 {
+                        g.and(w[0], !w[1])
+                    } else {
+                        g.xor(w[0], w[1])
+                    }
+                })
+                .collect();
+        }
+        for &l in &layer {
+            g.add_po(l);
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_random_columns_match_sequential() {
+        let g = wide_graph();
+        // 27 columns = 4 blocks (8+8+8+3): enough to spread across workers.
+        let mut seq = SimVectors::zero(g.num_nodes(), 27);
+        random_columns_par(&g, &mut seq, 0, 27, 0xFEED, 1);
+        for threads in [2, 3, 8] {
+            let mut par = SimVectors::zero(g.num_nodes(), 27);
+            random_columns_par(&g, &mut par, 0, 27, 0xFEED, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // Offsets keep per-block streams: filling [3, 3+24) uses the same
+        // block indices 0.. as filling from 0, applied at shifted columns.
+        let mut off = SimVectors::zero(g.num_nodes(), 27);
+        random_columns_par(&g, &mut off, 3, 24, 0xFEED, 2);
+        for v in 0..g.num_nodes() {
+            assert_eq!(off.row(v)[3..27], seq.row(v)[..24], "node {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_replay_columns_match_sequential() {
+        let g = wide_graph();
+        let chunks: Vec<Vec<u64>> = (0..5)
+            .map(|k| (0..g.num_pis() as u64).map(|i| i * 0x9E37 + k).collect())
+            .collect();
+        let jobs: Vec<(usize, &[u64])> = chunks
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (k, c.as_slice()))
+            .collect();
+        let mut seq = SimVectors::zero(g.num_nodes(), 5);
+        simulate_columns_par(&g, &mut seq, &jobs, 1);
+        let mut by_hand = SimVectors::zero(g.num_nodes(), 5);
+        for &(w, pi) in &jobs {
+            by_hand.simulate_column(&g, w, pi);
+        }
+        assert_eq!(seq, by_hand);
+        for threads in [2, 4] {
+            let mut par = SimVectors::zero(g.num_nodes(), 5);
+            simulate_columns_par(&g, &mut par, &jobs, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 }

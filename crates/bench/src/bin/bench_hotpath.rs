@@ -6,10 +6,15 @@
 //! the recorded perf trajectory for this and future optimisation PRs:
 //! run it before and after a change and diff the throughput numbers.
 //!
-//! Usage: `bench_hotpath [--smoke] [--out PATH]`
+//! Usage: `bench_hotpath [--smoke] [--out PATH] [--threads LIST]`
 //!
 //! `--smoke` shrinks every workload so CI can assert the harness still
 //! runs and the JSON still carries the expected keys in a few seconds.
+//! `--threads 1,2,4` selects the thread counts for the parallel kernels
+//! (resimulation and fraig); each count gets its own row, so cross-PR
+//! tables can separate single-thread kernel speed from scaling. The
+//! `context` object records the machine facts (available parallelism,
+//! build profile) that make those rows comparable across PRs.
 
 use cnf::Cnf;
 use csat_preproc::{BaselinePipeline, Pipeline};
@@ -19,7 +24,7 @@ use std::time::Instant;
 use sweep::{fraig, FraigParams};
 use workloads::cnf_gen::{pigeonhole, random_2sat, random_3sat};
 use workloads::datapath::{carry_lookahead_adder, ripple_carry_adder};
-use workloads::lec::miter;
+use workloads::lec::{adder_miter, miter};
 use workloads::random_aig::{random_aig, RandomAigParams};
 
 struct SolverRow {
@@ -59,6 +64,16 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_hotpath.json", |s| s.as_str());
+    let thread_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4] });
 
     let (php_holes, sat_vars, twosat_vars, adder_bits, solver_reps) = if smoke {
         (5, 40, 2_000, 4, 1)
@@ -102,8 +117,12 @@ fn main() {
         ),
     ];
 
-    // --- bit-parallel resimulation kernel ------------------------------
-    let (sim_gates, sim_words, sim_reps) = if smoke { (500, 8, 2) } else { (20_000, 64, 10) };
+    // --- bit-parallel resimulation kernel, one row per thread count -----
+    let (sim_gates, sim_words, sim_reps) = if smoke {
+        (500, 16, 2)
+    } else {
+        (20_000, 64, 10)
+    };
     let g = random_aig(
         &RandomAigParams {
             n_pis: 64,
@@ -113,38 +132,105 @@ fn main() {
         },
         0xC0FFEE,
     );
-    let mut sigs = aig::sim::SimVectors::new();
-    aig::sim::random_signatures_into(&g, sim_words, 1, &mut sigs); // warm-up
-    let sim_start = Instant::now();
-    let mut checksum = 0u64;
-    for rep in 0..sim_reps {
-        aig::sim::random_signatures_into(&g, sim_words, rep as u64, &mut sigs);
-        checksum ^= sigs.row(g.num_nodes() - 1).iter().fold(0, |a, &w| a ^ w);
+    struct SimRow {
+        threads: usize,
+        wall_s: f64,
+        words_simulated: u64,
+        words_per_sec: f64,
+        checksum: u64,
     }
-    let sim_wall = sim_start.elapsed().as_secs_f64();
-    let words_simulated = (g.num_nodes() * sim_words * sim_reps) as u64;
-    let words_per_sec = words_simulated as f64 / sim_wall.max(1e-9);
+    let mut sigs = aig::sim::SimVectors::zero(g.num_nodes(), sim_words);
+    let sim_rows: Vec<SimRow> = thread_counts
+        .iter()
+        .map(|&threads| {
+            aig::sim::random_columns_par(&g, &mut sigs, 0, sim_words, 1, threads); // warm-up
+            let start = Instant::now();
+            let mut checksum = 0u64;
+            for rep in 0..sim_reps {
+                aig::sim::random_columns_par(&g, &mut sigs, 0, sim_words, rep as u64, threads);
+                checksum ^= sigs.row(g.num_nodes() - 1).iter().fold(0, |a, &w| a ^ w);
+            }
+            let wall_s = start.elapsed().as_secs_f64();
+            let words_simulated = (g.num_nodes() * sim_words * sim_reps) as u64;
+            SimRow {
+                threads,
+                wall_s,
+                words_simulated,
+                words_per_sec: words_simulated as f64 / wall_s.max(1e-9),
+                checksum,
+            }
+        })
+        .collect();
 
     // --- fraig (sweep) kernel ------------------------------------------
-    let fraig_bits = if smoke { 4 } else { 16 };
-    let fg = {
-        let a = ripple_carry_adder(fraig_bits);
-        let b = carry_lookahead_adder(fraig_bits);
-        miter(&a.aig, &b.aig)
-    };
-    let fraig_start = Instant::now();
-    let out = fraig(&fg, &FraigParams::default());
-    let fraig_wall = fraig_start.elapsed().as_secs_f64();
+    // Two kinds of rows per miter: a sequential *trajectory* row
+    // (threads=1, one oracle — directly comparable with the PR 2/3
+    // numbers), and *scaling* rows with the shard count pinned to the
+    // largest tested thread count, so every scaling row does the same
+    // sharded work and differs only in scheduling. adder-16 is the
+    // historical workload; the wider miter gives each round enough SAT
+    // work for thread scaling to show.
+    let fraig_bits: &[usize] = if smoke { &[4] } else { &[16, 24] };
+    let pinned_shards = thread_counts.iter().copied().max().unwrap_or(1);
+    struct FraigRow {
+        bits: usize,
+        threads: usize,
+        shards: usize,
+        wall_s: f64,
+        stats: sweep::FraigStats,
+        ands_out: usize,
+    }
+    let mut fraig_rows: Vec<FraigRow> = Vec::new();
+    for &bits in fraig_bits {
+        let fg = adder_miter(bits);
+        let mut run = |threads: usize, shards: usize| {
+            let params = FraigParams {
+                threads,
+                shards,
+                ..FraigParams::default()
+            };
+            let _ = fraig(&fg, &params); // warm-up
+            let start = Instant::now();
+            let out = fraig(&fg, &params);
+            fraig_rows.push(FraigRow {
+                bits,
+                threads,
+                shards,
+                wall_s: start.elapsed().as_secs_f64(),
+                stats: out.stats,
+                ands_out: out.aig.num_ands(),
+            });
+        };
+        run(1, 1); // trajectory row
+        for &threads in &thread_counts {
+            run(threads, pinned_shards);
+        }
+    }
 
     // --- report ---------------------------------------------------------
     let total_props: u64 = solver_rows.iter().map(|r| r.propagations).sum();
     let total_solver_wall: f64 = solver_rows.iter().map(|r| r.wall_s).sum();
+    let sim_wall: f64 = sim_rows.iter().map(|r| r.wall_s).sum();
+    let fraig_wall: f64 = fraig_rows.iter().map(|r| r.wall_s).sum();
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
         if smoke { "smoke" } else { "full" }
+    );
+    // Machine context: what must match for cross-PR rows to be comparable.
+    let _ = writeln!(
+        json,
+        "  \"context\": {{\"available_parallelism\": {}, \"threads_tested\": [{}], \"build_profile\": \"{}\", \"debug_assertions\": {}}},",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        cfg!(debug_assertions)
     );
     json.push_str("  \"solver\": [\n");
     for (i, r) in solver_rows.iter().enumerate() {
@@ -160,34 +246,47 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = writeln!(
-        json,
-        "  \"sim\": {{\"nodes\": {}, \"words\": {}, \"reps\": {}, \"wall_s\": {:.6}, \"words_simulated\": {}, \"words_per_sec\": {:.0}, \"checksum\": {}}},",
-        g.num_nodes(),
-        sim_words,
-        sim_reps,
-        sim_wall,
-        words_simulated,
-        words_per_sec,
-        checksum
-    );
-    let _ = writeln!(
-        json,
-        "  \"fraig\": {{\"bits\": {}, \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}},",
-        fraig_bits,
-        fraig_wall,
-        out.stats.sat_calls,
-        out.stats.proved,
-        out.stats.disproved,
-        out.stats.rounds,
-        out.aig.num_ands()
-    );
+    json.push_str("  \"sim\": [\n");
+    for (i, r) in sim_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"nodes\": {}, \"words\": {}, \"reps\": {}, \"threads\": {}, \"wall_s\": {:.6}, \"words_simulated\": {}, \"words_per_sec\": {:.0}, \"checksum\": {}}}{}",
+            g.num_nodes(),
+            sim_words,
+            sim_reps,
+            r.threads,
+            r.wall_s,
+            r.words_simulated,
+            r.words_per_sec,
+            r.checksum,
+            if i + 1 < sim_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"fraig\": [\n");
+    for (i, r) in fraig_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"bits\": {}, \"threads\": {}, \"shards\": {}, \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}}{}",
+            r.bits,
+            r.threads,
+            r.shards,
+            r.wall_s,
+            r.stats.sat_calls,
+            r.stats.proved,
+            r.stats.disproved,
+            r.stats.rounds,
+            r.ands_out,
+            if i + 1 < fraig_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}}}",
         total_solver_wall + sim_wall + fraig_wall,
         total_props as f64 / total_solver_wall.max(1e-9),
-        words_per_sec
+        sim_rows.first().map_or(0.0, |r| r.words_per_sec)
     );
     json.push_str("}\n");
 

@@ -65,6 +65,13 @@ enum Conflict {
 
 /// A CDCL SAT solver.
 ///
+/// `Clone` duplicates the *complete* solver state — clause arena, both
+/// watcher tiers, learnt clauses, trail, activities — as flat buffer
+/// copies. That is how parallel clients (the sweep engine's sharded
+/// oracles, future portfolio solving) fan a formula out to workers:
+/// normalise the CNF into one base solver, then clone it per worker
+/// instead of re-adding and re-simplifying every clause.
+///
 /// ```
 /// use cnf::{Cnf, CnfLit};
 /// use sat::{Solver, SolverConfig};
@@ -76,7 +83,7 @@ enum Conflict {
 /// let result = solver.solve();
 /// assert!(result.is_sat());
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Solver {
     config: SolverConfig,
     budget: Budget,
@@ -339,6 +346,13 @@ impl Solver {
             'watchers: while i < n {
                 let w = ws[i];
                 i += 1;
+                // Pull the *next* watcher's clause header toward the cache
+                // while this clause is processed: watcher walks are the
+                // propagation loop's dominant miss source, and the next
+                // arena offset is already known here.
+                if i < n {
+                    self.db.prefetch(ws[i].cref);
+                }
                 // Blocker short-circuit.
                 if self.value(w.blocker) == LBool::True {
                     ws[j] = w;
@@ -669,11 +683,36 @@ impl Solver {
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
         }
+        if to_delete > 0 {
+            self.shrink_watchers();
+        }
         // Compact once a fifth of the arena is tombstoned words; arena GC
         // is one copy pass, so waiting for real waste beats collecting on
         // every reduction.
         if self.db.wasted() * 5 > self.db.arena_len() {
             self.garbage_collect();
+        }
+    }
+
+    /// Reclaims watcher-list capacity stranded by clause deletion.
+    ///
+    /// Learnt-clause churn grows watch lists to their high-water mark and
+    /// reduction then empties half of them; the spare capacity would
+    /// otherwise live for the whole solve. A list is shrunk only when its
+    /// capacity is at least `SHRINK_RATIO`× its live length *and* above a
+    /// floor, and it keeps 2× headroom — so steady-state lists are never
+    /// touched and a shrunk list cannot immediately thrash back through
+    /// doubling regrowth.
+    fn shrink_watchers(&mut self) {
+        /// Minimum capacity (in watchers) worth reclaiming.
+        const SHRINK_FLOOR: usize = 16;
+        /// Capacity-to-length ratio that triggers a shrink.
+        const SHRINK_RATIO: usize = 4;
+        for ws in &mut self.watches {
+            if ws.capacity() >= SHRINK_FLOOR && ws.capacity() > SHRINK_RATIO * ws.len() {
+                ws.shrink_to(2 * ws.len());
+                self.stats.watcher_shrinks += 1;
+            }
         }
     }
 
@@ -1080,6 +1119,46 @@ mod tests {
             }
         }
         f
+    }
+
+    #[test]
+    fn cloned_solvers_are_independent_and_identical() {
+        // Clone a pre-loaded solver (the sharded-oracle construction
+        // path): both copies must give the same answers with the same
+        // statistics, and diverging one must not affect the other.
+        let f = workloads_php(5);
+        let base = Solver::from_cnf(&f, SolverConfig::kissat_like());
+        let mut a = base.clone();
+        let mut b = base.clone();
+        assert!(a.solve().is_unsat());
+        assert!(b.solve().is_unsat());
+        assert_eq!(a.stats(), b.stats(), "identical trajectories");
+        a.assert_integrity();
+        b.assert_integrity();
+        // Divergence: poison one clone at level 0; the other still solves.
+        a.add_clause_cnf(&[CnfLit::pos(1)]);
+        a.add_clause_cnf(&[CnfLit::neg(1)]);
+        assert!(a.solve().is_unsat());
+        let mut c = base.clone();
+        assert!(c.solve().is_unsat());
+    }
+
+    #[test]
+    fn reduction_reclaims_watcher_capacity() {
+        // An aggressive reduction cadence on a learnt-heavy instance:
+        // deletions must leave some list with 4x spare capacity at least
+        // once, and the shrink must not disturb correctness.
+        let mut cfg = SolverConfig::kissat_like();
+        cfg.reduce_first = 25;
+        cfg.reduce_increment = 10;
+        let mut s = Solver::from_cnf(&workloads_php(7), cfg);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().deleted_clauses > 0, "reduction must have run");
+        assert!(
+            s.stats().watcher_shrinks > 0,
+            "expected at least one watcher-list shrink under churn"
+        );
+        s.assert_integrity();
     }
 
     #[test]

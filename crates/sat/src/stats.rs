@@ -23,6 +23,8 @@ pub struct Stats {
     pub minimized_literals: u64,
     /// Clause-database garbage collections.
     pub gcs: u64,
+    /// Watch lists whose spare capacity was reclaimed after reduction.
+    pub watcher_shrinks: u64,
     /// Maximum trail height observed.
     pub max_trail: usize,
 }

@@ -1,7 +1,17 @@
 //! The fraig engine: simulate, conjecture, SAT-prove, merge, rebuild.
+//!
+//! Since PR 4 the engine is multi-threaded end-to-end: each round's
+//! candidate pairs are proved on **sharded** SAT oracles running on worker
+//! threads, and resimulation splits its word-columns across cores. Pair `i`
+//! of a round is always proved on oracle `i % shards` in ascending order,
+//! and results are merged in pair-index order — so for a pinned shard
+//! count the outcome is bit-identical for every thread count (see
+//! [`FraigParams::shards`] for the default's shards-follow-threads
+//! trade-off).
 
 use crate::classes::candidate_classes;
-use aig::sim::{random_columns, SimVectors};
+use crate::pool::{resolve_threads, run_sharded};
+use aig::sim::{random_columns_par, simulate_columns_par, SimVectors};
 use aig::{Aig, Lit, Var};
 use cnf::{tseitin, CnfLit, VarMap};
 use sat::{Budget, SolveResult, Solver, SolverConfig};
@@ -20,6 +30,24 @@ pub struct FraigParams {
     pub max_checks_per_node: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Worker threads for SAT queries and resimulation. `0` (the default)
+    /// means one per available core, `1` runs fully sequentially — no
+    /// spawns, no channels. For a fixed [`FraigParams::shards`] value the
+    /// *outcome* is identical for every thread count: work assignment is
+    /// fixed by the shard layout, threads only decide how much of it runs
+    /// concurrently.
+    pub threads: usize,
+    /// Logical oracle shards. Pair `i` of a round is always proved on
+    /// oracle `i % shards`, whatever `threads` is, so every oracle sees the
+    /// same query sequence (and returns the same answers, counterexamples
+    /// included) on one core or many — pin this and the result is
+    /// bit-identical from one thread to many. `0` (the default) tracks the
+    /// resolved thread count: each worker gets one oracle, which maximises
+    /// learnt-clause reuse (`threads: 1, shards: 0` *is* the classic
+    /// single-oracle sweep), at the price of the outcome varying with the
+    /// machine's parallelism. Effective parallelism is capped by the shard
+    /// count.
+    pub shards: usize,
 }
 
 impl Default for FraigParams {
@@ -30,6 +58,8 @@ impl Default for FraigParams {
             max_rounds: 4,
             max_checks_per_node: 4,
             seed: 0x5eed_f4a1,
+            threads: 0,
+            shards: 0,
         }
     }
 }
@@ -60,6 +90,14 @@ pub struct FraigOutcome {
     pub stats: FraigStats,
 }
 
+/// One candidate equivalence query: prove `member ≡ repr ⊕ phase`.
+#[derive(Clone, Copy, Debug)]
+struct PairTask {
+    repr: Var,
+    member: Var,
+    phase: bool,
+}
+
 /// SAT-sweeps the graph: merges nodes proved functionally equivalent
 /// (up to complementation) and returns the reduced graph.
 ///
@@ -67,6 +105,13 @@ pub struct FraigOutcome {
 /// every merge is justified by an UNSAT answer on the pairwise miter
 /// `a ⊕ b` over the *original* graph, so substitutions compose soundly in
 /// any order. Budget exhaustion only loses reductions, never correctness.
+///
+/// The run is deterministic for a fixed seed, and for a **pinned shard
+/// count** it is independent of the thread count: candidate pairs are
+/// assigned to logical oracle shards by index, each shard's query sequence
+/// is fixed, and per-round results are applied in pair order whatever
+/// order they arrive in. The default `shards: 0` trades that invariance
+/// for throughput by giving every worker thread its own oracle.
 ///
 /// ```
 /// use aig::Aig;
@@ -82,12 +127,23 @@ pub struct FraigOutcome {
 pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     let mut stats = FraigStats::default();
     let n = aig.num_nodes();
+    let threads = resolve_threads(params.threads);
+    let shards = if params.shards == 0 {
+        threads
+    } else {
+        params.shards
+    };
     let reach = aig.reachable_from_pos();
     let (base_cnf, vmap) = tseitin(aig);
-    // One incremental solver for the whole run: learnt clauses carry over
-    // between equivalence queries, and per-query miter gadgets are guarded
-    // by activation literals (assumed for the query, retired by a unit).
-    let mut oracle = PairOracle::new(&base_cnf);
+    // The Tseitin encoding is normalised into a solver once; each oracle
+    // shard then *clones* that base solver — a flat memcpy of the arena and
+    // watcher lists — instead of re-adding every clause. Learnt clauses
+    // carry over between a shard's queries; per-query miter gadgets are
+    // guarded by activation literals (assumed for the query, retired by a
+    // unit).
+    let base_solver = Solver::from_cnf(&base_cnf, SolverConfig::default());
+    let base_vars = base_cnf.num_vars();
+    let mut oracles: Vec<Option<PairOracle>> = (0..shards).map(|_| None).collect();
 
     // equiv[v] = Some(l): node v is equivalent to old-graph literal l
     // (l.var() < v). Chains are resolved during rebuild.
@@ -108,24 +164,24 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     let mut sigs = SimVectors::new();
     for round in 0..params.max_rounds {
         stats.rounds = round + 1;
-        simulate_round(aig, params, round, &cex_chunks, &mut sigs);
+        simulate_round(aig, params, round, &cex_chunks, &mut sigs, threads);
 
         // Candidates: constant node + reachable, not-yet-merged PIs/ANDs.
         let members =
             (0..n as Var).filter(|&v| v == 0 || (reach[v as usize] && equiv[v as usize].is_none()));
         let classes = candidate_classes(&sigs, members);
 
-        // This round's counterexamples, packed on the fly (bit j of
-        // chunk[i] = value of PI i in the j-th counterexample).
-        let mut chunk = vec![0u64; aig.num_pis()];
-        let mut chunk_len = 0u32;
-        let mut fresh_dead: Vec<u64> = Vec::new();
+        // The round's query list, fixed up front: each node appears in at
+        // most one class, so the filters below depend only on *previous*
+        // rounds — the list (and the shard assignment derived from it) is
+        // deterministic before any query runs.
+        let mut tasks: Vec<PairTask> = Vec::new();
         let mut checks = vec![0usize; n];
         for class in classes.classes() {
             let repr = class[0];
             for &member in &class[1..] {
                 if equiv[member.var as usize].is_some() {
-                    continue; // merged via an earlier class this round
+                    continue;
                 }
                 if dead.binary_search(&pair_key(repr.var, member.var)).is_ok() {
                     continue;
@@ -134,28 +190,53 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
                     continue;
                 }
                 checks[member.var as usize] += 1;
-                if chunk_len >= 64 {
-                    break; // the refinement word for this round is full
+                tasks.push(PairTask {
+                    repr: repr.var,
+                    member: member.var,
+                    phase: repr.phase != member.phase,
+                });
+            }
+        }
+
+        // Prove the whole list on the sharded oracles (in parallel when
+        // threads allow), then merge the answers in pair-index order.
+        stats.sat_calls += tasks.len() as u64;
+        let answers = prove_tasks(
+            &mut oracles,
+            &base_solver,
+            base_vars,
+            &vmap,
+            &tasks,
+            params,
+            threads,
+        );
+
+        // This round's counterexamples, packed on the fly (bit j of
+        // chunk[i] = value of PI i in the j-th counterexample). One word
+        // per round: at most 64 patterns are replayed, later
+        // counterexamples only retire their own pair.
+        let mut chunk = vec![0u64; aig.num_pis()];
+        let mut chunk_len = 0u32;
+        let mut fresh_dead: Vec<u64> = Vec::new();
+        for (task, answer) in tasks.iter().zip(&answers) {
+            match answer {
+                Answer::Equivalent => {
+                    stats.proved += 1;
+                    equiv[task.member as usize] = Some(Lit::from_var(task.repr, task.phase));
                 }
-                let phase = repr.phase != member.phase;
-                stats.sat_calls += 1;
-                match oracle.prove_pair(&vmap, member.var, repr.var, phase, params) {
-                    Answer::Equivalent => {
-                        stats.proved += 1;
-                        equiv[member.var as usize] = Some(Lit::from_var(repr.var, phase));
-                    }
-                    Answer::Different(pattern) => {
-                        stats.disproved += 1;
-                        fresh_dead.push(pair_key(repr.var, member.var));
+                Answer::Different(pattern) => {
+                    stats.disproved += 1;
+                    fresh_dead.push(pair_key(task.repr, task.member));
+                    if chunk_len < 64 {
                         for (i, &bit) in pattern.iter().enumerate() {
                             chunk[i] |= (bit as u64) << chunk_len;
                         }
                         chunk_len += 1;
                     }
-                    Answer::Undecided => {
-                        stats.unknown += 1;
-                        fresh_dead.push(pair_key(repr.var, member.var));
-                    }
+                }
+                Answer::Undecided => {
+                    stats.unknown += 1;
+                    fresh_dead.push(pair_key(task.repr, task.member));
                 }
             }
         }
@@ -176,6 +257,50 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     }
 }
 
+/// Proves every task of one round on the sharded oracles and returns the
+/// answers in task order.
+///
+/// Task `i` runs on oracle `i % shards`; within a shard, tasks run in
+/// ascending index order. Both facts are independent of `threads`, so each
+/// oracle's incremental state (learnt clauses, activities, budget clock)
+/// evolves identically however the shards are scheduled — the returned
+/// vector is bit-identical from one core to many. Workers stream
+/// `(index, answer)` pairs over a channel; [`run_sharded`] reassembles
+/// them into index order.
+fn prove_tasks(
+    oracles: &mut [Option<PairOracle>],
+    base_solver: &Solver,
+    base_vars: u32,
+    vmap: &VarMap,
+    tasks: &[PairTask],
+    params: &FraigParams,
+    threads: usize,
+) -> Vec<Answer> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let shards = oracles.len();
+    let answers = run_sharded(threads, oracles, tasks.len(), |s, oracle, emit| {
+        let mut i = s;
+        while i < tasks.len() {
+            // Oracles are built lazily so tiny rounds never pay for
+            // shards they do not touch; first use is per-shard
+            // deterministic.
+            let oracle = oracle.get_or_insert_with(|| PairOracle::new(base_solver, base_vars));
+            let task = &tasks[i];
+            emit(
+                i,
+                oracle.prove_pair(vmap, task.member, task.repr, task.phase, params),
+            );
+            i += shards;
+        }
+    });
+    answers
+        .into_iter()
+        .map(|a| a.expect("every task is assigned to exactly one shard"))
+        .collect()
+}
+
 enum Answer {
     Equivalent,
     Different(Vec<bool>),
@@ -191,10 +316,13 @@ struct PairOracle {
 }
 
 impl PairOracle {
-    fn new(base_cnf: &cnf::Cnf) -> PairOracle {
+    /// Clones the pre-loaded base solver instead of re-normalising the
+    /// shared CNF — oracle construction is a memcpy, so sharding the
+    /// oracle pool does not multiply the encoding cost.
+    fn new(base_solver: &Solver, base_vars: u32) -> PairOracle {
         PairOracle {
-            solver: Solver::from_cnf(base_cnf, SolverConfig::default()),
-            next_var: base_cnf.num_vars() + 1,
+            solver: base_solver.clone(),
+            next_var: base_vars + 1,
         }
     }
 
@@ -211,7 +339,7 @@ impl PairOracle {
         let a = vmap
             .lit(Lit::from_var(member, false))
             .expect("member is PO-reachable, hence encoded");
-        // The conflict budget is cumulative on the shared solver.
+        // The conflict budget is cumulative on the shard's solver.
         let limit = self.solver.stats().conflicts + params.conflict_budget;
         self.solver.set_budget(Budget::conflicts(limit));
         let result = match cnf_lit_of(vmap, repr, phase) {
@@ -236,6 +364,7 @@ impl PairOracle {
         // binaries in the inline tier, long learnts churning through
         // reduction/GC between queries — so audit the two-tier
         // watcher/reason invariants after every query in debug builds.
+        // Under parallel sweeping this runs concurrently on every shard.
         #[cfg(debug_assertions)]
         self.solver.assert_integrity();
         match result {
@@ -288,22 +417,34 @@ fn rebuild(aig: &Aig, equiv: &[Option<Lit>]) -> Aig {
 
 /// One round's signature matrix: `sim_words` fresh random columns plus one
 /// replayed column per accumulated counterexample chunk, all simulated
-/// directly into a single strided [`SimVectors`] buffer.
+/// directly into a single strided [`SimVectors`] buffer. Random columns go
+/// through the blocked path and the replayed chunks through the dense
+/// column path, both split across `threads` workers (the strided layout
+/// makes per-column writes disjoint).
 fn simulate_round(
     aig: &Aig,
     params: &FraigParams,
     round: usize,
     cex_chunks: &[Vec<u64>],
     sigs: &mut SimVectors,
+    threads: usize,
 ) {
     // Reshape without zeroing: every column below is fully written.
     sigs.reshape(aig.num_nodes(), params.sim_words + cex_chunks.len());
-    // Random columns go through the blocked path (8 columns per pass);
-    // each counterexample chunk is one replayed column.
-    random_columns(aig, sigs, 0, params.sim_words, params.seed ^ round as u64);
-    for (k, chunk) in cex_chunks.iter().enumerate() {
-        sigs.simulate_column(aig, params.sim_words + k, chunk);
-    }
+    random_columns_par(
+        aig,
+        sigs,
+        0,
+        params.sim_words,
+        params.seed ^ round as u64,
+        threads,
+    );
+    let jobs: Vec<(usize, &[u64])> = cex_chunks
+        .iter()
+        .enumerate()
+        .map(|(k, chunk)| (params.sim_words + k, chunk.as_slice()))
+        .collect();
+    simulate_columns_par(aig, sigs, &jobs, threads);
 }
 
 #[cfg(test)]
@@ -483,5 +624,83 @@ mod tests {
         let out2 = fraig(&g2, &FraigParams::default());
         assert_eq!(out2.aig.num_ands(), 0);
         assert_eq!(out2.aig.num_pis(), 1);
+    }
+
+    /// Structural equality of two rebuilt graphs (node-for-node).
+    fn same_aig(a: &Aig, b: &Aig) -> bool {
+        a.num_nodes() == b.num_nodes()
+            && a.pis() == b.pis()
+            && a.pos() == b.pos()
+            && a.iter_ands().zip(b.iter_ands()).all(|(va, vb)| {
+                let (na, nb) = (a.node(va), b.node(vb));
+                va == vb && na.fanin0() == nb.fanin0() && na.fanin1() == nb.fanin1()
+            })
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        // With the shard count pinned, the thread count is pure schedule.
+        let g = equivalence_miter(5);
+        let outcomes: Vec<FraigOutcome> = [1usize, 2, 3, 4, 8]
+            .iter()
+            .map(|&threads| {
+                fraig(
+                    &g,
+                    &FraigParams {
+                        threads,
+                        shards: 4,
+                        sim_words: 17, // multiple blocks: exercises parallel resim
+                        ..FraigParams::default()
+                    },
+                )
+            })
+            .collect();
+        for (i, out) in outcomes.iter().enumerate().skip(1) {
+            assert_eq!(out.stats, outcomes[0].stats, "stats diverged at run {i}");
+            assert!(
+                same_aig(&out.aig, &outcomes[0].aig),
+                "graph diverged at {i}"
+            );
+        }
+        assert_eq!(outcomes[0].aig.pos()[0], Lit::FALSE);
+    }
+
+    #[test]
+    fn single_shard_matches_the_classic_sequential_sweep() {
+        // Different shard counts are *allowed* to produce different (still
+        // correct) outcomes; every configuration must stay equivalent to
+        // the input, and shards=0 must track the thread count.
+        let g = equivalence_miter(4);
+        for shards in [0usize, 1, 2, 8] {
+            let out = fraig(
+                &g,
+                &FraigParams {
+                    shards,
+                    threads: 2,
+                    ..FraigParams::default()
+                },
+            );
+            assert_eq!(out.aig.pos()[0], Lit::FALSE, "shards={shards}");
+        }
+        // threads=1, shards=0 is the classic single-oracle sweep: one
+        // solver, every pair in order — same outcome as an explicit
+        // single shard at any thread count.
+        let classic = fraig(
+            &g,
+            &FraigParams {
+                threads: 1,
+                ..FraigParams::default()
+            },
+        );
+        let one_shard = fraig(
+            &g,
+            &FraigParams {
+                threads: 4,
+                shards: 1,
+                ..FraigParams::default()
+            },
+        );
+        assert_eq!(classic.stats, one_shard.stats);
+        assert!(same_aig(&classic.aig, &one_shard.aig));
     }
 }

@@ -15,6 +15,12 @@
 //! as an optional preprocessing stage ahead of the cost-customised LUT
 //! mapping.
 //!
+//! The engine is multi-threaded: SAT queries run on sharded incremental
+//! oracles and resimulation splits its word-columns across cores, with a
+//! determinism contract — pin [`FraigParams::shards`] and the outcome is
+//! bit-identical for any thread count (see [`pool`] for the scaffolding
+//! and the README's "Concurrency model" section for the design).
+//!
 //! ```
 //! use aig::Aig;
 //! use sweep::{fraig, FraigParams};
@@ -41,6 +47,7 @@
 
 mod classes;
 mod engine;
+pub mod pool;
 
 pub use classes::{candidate_classes, ClassMember, SigClasses};
 pub use engine::{fraig, FraigOutcome, FraigParams, FraigStats};

@@ -1,0 +1,144 @@
+//! Scoped worker-thread scaffolding for sharded, deterministic parallelism.
+//!
+//! The sweep engine (and, in later PRs, portfolio solving above it) runs
+//! many independent stateful tasks — SAT oracles, simulation blocks — whose
+//! *assignment* must not depend on how many OS threads happen to execute
+//! them, or results would change with the machine. The primitive here makes
+//! that split explicit:
+//!
+//! * work is divided into **logical shards**, each owning mutable state
+//!   (e.g. one incremental SAT solver) and a fixed, deterministic slice of
+//!   the items;
+//! * **threads** only decide how many shards run concurrently. Shard `s`
+//!   always processes the same items in the same order, so every shard's
+//!   state evolution — and therefore every emitted result — is identical
+//!   for any thread count, including fully sequential execution.
+//!
+//! Results stream back to the caller over an [`mpsc`] channel keyed by item
+//! index; the caller reassembles them into index order, turning unordered
+//! parallel arrival into a deterministic merge.
+
+use std::sync::mpsc;
+
+/// Runs `f(shard_index, &mut shard_state, emit)` once per shard, spreading
+/// the shards round-robin across at most `threads` worker threads.
+///
+/// `f` receives an `emit(key, value)` sink; every emitted pair is collected
+/// into the returned vector at position `key` (`None` where nothing was
+/// emitted). Keys must be `< slots`; emitting a key twice keeps the later
+/// arrival, so shard item assignments should be disjoint.
+///
+/// With `threads <= 1` (or a single shard) everything runs inline on the
+/// caller's thread — no spawns, no channel — but over the *same* per-shard
+/// item sequences, so the output is bit-identical to the parallel run.
+///
+/// # Panics
+/// Panics (in the collector) if an emitted key is `>= slots`.
+pub fn run_sharded<S, V, F>(threads: usize, shards: &mut [S], slots: usize, f: F) -> Vec<Option<V>>
+where
+    S: Send,
+    V: Send,
+    F: Fn(usize, &mut S, &mut dyn FnMut(usize, V)) + Sync,
+{
+    let mut out: Vec<Option<V>> = std::iter::repeat_with(|| None).take(slots).collect();
+    let workers = threads.min(shards.len());
+    if workers <= 1 {
+        for (s, state) in shards.iter_mut().enumerate() {
+            f(s, state, &mut |k, v| out[k] = Some(v));
+        }
+        return out;
+    }
+    let (tx, rx) = mpsc::channel::<(usize, V)>();
+    std::thread::scope(|scope| {
+        // Deal shards round-robin onto workers. Which worker runs a shard
+        // is irrelevant for determinism — only the per-shard sequence is.
+        let mut buckets: Vec<Vec<(usize, &mut S)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (s, state) in shards.iter_mut().enumerate() {
+            buckets[s % workers].push((s, state));
+        }
+        let f = &f;
+        for bucket in buckets {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (s, state) in bucket {
+                    f(s, state, &mut |k, v| {
+                        // A closed channel means the collector panicked;
+                        // just stop producing.
+                        let _ = tx.send((k, v));
+                    });
+                }
+            });
+        }
+        drop(tx);
+        for (k, v) in rx {
+            out[k] = Some(v);
+        }
+    });
+    out
+}
+
+/// Resolves a thread-count knob: `0` means one thread per available core,
+/// any other value is taken as-is (floored at 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each shard counts its items; results must land at their item index
+    /// regardless of thread count.
+    fn run(threads: usize, shards: usize, items: usize) -> Vec<Option<(usize, u64)>> {
+        let mut states: Vec<u64> = vec![0; shards];
+        run_sharded(threads, &mut states, items, |s, state, emit| {
+            let mut i = s;
+            while i < items {
+                *state += 1; // per-shard running count = deterministic state
+                emit(i, (s, *state));
+                i += shards;
+            }
+        })
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = run(1, 4, 23);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads, 4, 23), seq, "threads={threads}");
+        }
+        // Every slot filled, shard assignment is index mod shards.
+        for (i, slot) in seq.iter().enumerate() {
+            let (s, count) = slot.expect("every item answered");
+            assert_eq!(s, i % 4);
+            assert_eq!(count as usize, i / 4 + 1, "per-shard sequence order");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_capped() {
+        let out = run(64, 2, 5);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|o| o.is_some()));
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        let out = run(4, 3, 0);
+        assert!(out.is_empty());
+        let mut none: Vec<u8> = Vec::new();
+        let out: Vec<Option<()>> = run_sharded(4, &mut none, 0, |_, _, _| {});
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_floors_and_autodetects() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+    }
+}

@@ -34,6 +34,17 @@ pub fn miter(a: &Aig, b: &Aig) -> Aig {
     g
 }
 
+/// Ripple-carry vs. carry-lookahead adder miter — the standard fraig
+/// scaling workload. UNSAT by construction (the architectures are
+/// equivalent), so sweeping collapses it to constant 0; at 24+ bits each
+/// round carries hundreds of candidate pairs, enough SAT work per round
+/// for multi-threaded sweeping to be measurable.
+pub fn adder_miter(bits: usize) -> Aig {
+    let a = crate::datapath::ripple_carry_adder(bits);
+    let b = crate::datapath::carry_lookahead_adder(bits);
+    miter(&a.aig, &b.aig)
+}
+
 /// Copies a circuit into `g`, driving its PIs from `pis`; returns its PO
 /// literals inside `g`.
 pub fn copy_into(src: &Aig, g: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
