@@ -1,11 +1,16 @@
-//! AIGER format I/O (ASCII `aag` and binary `aig`, combinational subset).
+//! AIGER format I/O (ASCII `aag` and binary `aig`).
 //!
 //! The AIGER format (Biere, 2006) is the de-facto interchange format for
-//! AIGs and the input format of the paper's benchmark instances. Latches are
-//! rejected: the framework targets combinational CSAT instances.
+//! AIGs and the input format of the paper's benchmark instances. The
+//! combinational readers ([`read_aag`], [`read_aig_binary`]) reject latches
+//! — the preprocessing framework targets combinational CSAT instances —
+//! while [`read_seq_aag`]/[`write_seq_aag`] handle the sequential subset
+//! (zero-initialised latches) as [`SeqAig`] machines for the model-checking
+//! subsystem.
 
 use crate::aig::Aig;
 use crate::lit::Lit;
+use crate::seq::SeqAig;
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
@@ -54,7 +59,35 @@ fn malformed(msg: impl Into<String>) -> ParseAigerError {
 /// # Errors
 /// Returns [`ParseAigerError`] on I/O failure, malformed input, or if the
 /// file declares latches.
-pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
+pub fn read_aag<R: BufRead>(reader: R) -> Result<Aig, ParseAigerError> {
+    parse_aag(reader, false).map(|p| p.core)
+}
+
+/// Reads an ASCII AIGER (`aag`) file that may declare latches, producing a
+/// [`SeqAig`] (latch current-state variables become trailing core PIs,
+/// next-state literals trailing core POs, AIGER's zero-initialisation
+/// convention).
+///
+/// A combinational file (`L = 0`) parses to a zero-latch machine.
+///
+/// # Errors
+/// Returns [`ParseAigerError`] on I/O failure, malformed input, or a latch
+/// with a non-zero (AIGER 1.9) reset value — only the zero-initialised
+/// subset is supported.
+pub fn read_seq_aag<R: BufRead>(reader: R) -> Result<SeqAig, ParseAigerError> {
+    let p = parse_aag(reader, true)?;
+    Ok(SeqAig::new(p.core, p.inputs, p.latches))
+}
+
+/// Parse result of [`parse_aag`]: the combinational core in [`SeqAig`]
+/// layout (real PIs then latch outputs; real POs then latch next-states).
+struct ParsedAag {
+    core: Aig,
+    inputs: usize,
+    latches: usize,
+}
+
+fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag, ParseAigerError> {
     let mut header = String::new();
     reader.read_line(&mut header)?;
     let mut parts = header.split_whitespace();
@@ -68,11 +101,11 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
         return Err(malformed("header needs five fields M I L O A"));
     }
     let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
-    if l != 0 {
+    if l != 0 && !allow_latches {
         return Err(ParseAigerError::Sequential);
     }
-    if m < i + a {
-        return Err(malformed("M smaller than I + A"));
+    if m < i + l + a {
+        return Err(malformed("M smaller than I + L + A"));
     }
 
     let mut lines = reader.lines();
@@ -100,11 +133,45 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
         }
         pi_vars.push(lit / 2);
     }
+
+    // Latch lines: `current next [init]`. The current-state literal defines
+    // a variable (a core PI after the real inputs); the next-state literal
+    // is resolved after the AND section like an output.
+    let mut latch_next = Vec::with_capacity(l as usize);
+    for _ in 0..l {
+        let line = next_line()?;
+        let mut it = line.split_whitespace();
+        let mut field = || -> Result<u32, ParseAigerError> {
+            it.next()
+                .ok_or_else(|| malformed("latch line too short"))?
+                .parse()
+                .map_err(|_| malformed("bad latch literal"))
+        };
+        let (cur, next) = (field()?, field()?);
+        if cur % 2 != 0 || cur == 0 {
+            return Err(malformed("latch literal must be positive and even"));
+        }
+        if let Some(init) = it.next() {
+            // AIGER 1.9 reset value; only the default 0 is supported.
+            if init != "0" {
+                return Err(malformed("only zero-initialised latches are supported"));
+            }
+        }
+        if it.next().is_some() {
+            return Err(malformed("trailing tokens on latch line"));
+        }
+        pi_vars.push(cur / 2);
+        latch_next.push(next);
+    }
     for &v in &pi_vars {
-        if map[v as usize].is_some() {
+        // `v <= m` is a header promise, not a fact about the body.
+        let slot = map
+            .get_mut(v as usize)
+            .ok_or_else(|| malformed(format!("variable {v} exceeds the header maximum")))?;
+        if slot.is_some() {
             return Err(malformed("duplicate variable definition"));
         }
-        map[v as usize] = Some(g.add_pi());
+        *slot = Some(g.add_pi());
     }
 
     let mut po_lits = Vec::with_capacity(o as usize);
@@ -151,7 +218,8 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
         map[v as usize] = Some(g.and(f0, f1));
     }
 
-    for raw in po_lits {
+    // Real POs first, then latch next-state functions (SeqAig layout).
+    for raw in po_lits.into_iter().chain(latch_next) {
         let var = raw / 2;
         let base = map
             .get(var as usize)
@@ -160,7 +228,11 @@ pub fn read_aag<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
             .ok_or_else(|| malformed(format!("output references undefined variable {var}")))?;
         g.add_po(base.xor_compl(raw % 2 == 1));
     }
-    Ok(g)
+    Ok(ParsedAag {
+        core: g,
+        inputs: i as usize,
+        latches: l as usize,
+    })
 }
 
 /// Writes the graph in ASCII AIGER (`aag`) format.
@@ -193,6 +265,64 @@ pub fn write_aag<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
         )?;
     }
     Ok(())
+}
+
+/// Writes a sequential machine in ASCII AIGER (`aag`) format.
+///
+/// Inverse of [`read_seq_aag`]: real PIs get AIGER variables `1..=I`, latch
+/// current-state variables `I+1..=I+L`, AND gates follow in topological
+/// order. Latches are written zero-initialised (no explicit reset field).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_seq_aag<W: Write>(seq: &SeqAig, mut w: W) -> io::Result<()> {
+    let core = seq.comb();
+    let renum = renumber(core);
+    let i = seq.num_pis() as u32;
+    let l = seq.num_latches() as u32;
+    let o = seq.num_pos() as u32;
+    let a = core.num_ands() as u32;
+    let m = i + l + a;
+    writeln!(w, "aag {m} {i} {l} {o} {a}")?;
+    // `renumber` assigns core PIs 1..=(I+L) in order: real inputs first,
+    // then latch outputs — exactly the header's variable layout.
+    for k in 0..i {
+        writeln!(w, "{}", 2 * (k + 1))?;
+    }
+    for j in 0..l {
+        let cur = 2 * (i + j + 1);
+        let next = encode(&renum, core.pos()[(o + j) as usize]);
+        writeln!(w, "{cur} {next}")?;
+    }
+    for po in &core.pos()[..o as usize] {
+        writeln!(w, "{}", encode(&renum, *po))?;
+    }
+    for v in core.iter_ands() {
+        let n = core.node(v);
+        writeln!(
+            w,
+            "{} {} {}",
+            2 * renum[v as usize],
+            encode(&renum, n.fanin0()),
+            encode(&renum, n.fanin1())
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialises a sequential machine to an in-memory `aag` string.
+pub fn to_seq_aag_string(seq: &SeqAig) -> String {
+    let mut buf = Vec::new();
+    write_seq_aag(seq, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("aag output is ASCII")
+}
+
+/// Parses an in-memory `aag` string as a sequential machine.
+///
+/// # Errors
+/// Same as [`read_seq_aag`].
+pub fn from_seq_aag_str(s: &str) -> Result<SeqAig, ParseAigerError> {
+    read_seq_aag(s.as_bytes())
 }
 
 /// Writes the graph in binary AIGER (`aig`) format.
@@ -424,6 +554,109 @@ mod tests {
         let text = to_aag_string(&g);
         let h = from_aag_str(&text).unwrap();
         assert_eq!(h.eval(&[]), vec![true, false]);
+    }
+
+    /// Enable-gated n-bit counter machine (for sequential I/O tests).
+    fn counter(n: usize) -> SeqAig {
+        let mut g = Aig::new();
+        let en = g.add_pi();
+        let state: Vec<Lit> = (0..n).map(|_| g.add_pi()).collect();
+        let mut carry = en;
+        let mut next = Vec::with_capacity(n);
+        for &s in &state {
+            next.push(g.xor(s, carry));
+            carry = g.and(s, carry);
+        }
+        let all_ones = g.and_many(&state);
+        g.add_po(all_ones);
+        for nx in next {
+            g.add_po(nx);
+        }
+        SeqAig::new(g, 1, n)
+    }
+
+    #[test]
+    fn seq_roundtrip_preserves_behaviour() {
+        let m = counter(3);
+        let text = to_seq_aag_string(&m);
+        let h = from_seq_aag_str(&text).unwrap();
+        assert_eq!(h.num_pis(), 1);
+        assert_eq!(h.num_latches(), 3);
+        assert_eq!(h.num_pos(), 1);
+        for pattern in 0..64u32 {
+            let stimulus: Vec<Vec<bool>> =
+                (0..10).map(|t| vec![pattern >> (t % 6) & 1 != 0]).collect();
+            assert_eq!(
+                m.simulate(&stimulus),
+                h.simulate(&stimulus),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_toggle_flip_flop() {
+        // The AIGER spec's toggle flip-flop: one latch, next = ¬current,
+        // outputs Q and ¬Q.
+        let text = "aag 1 0 1 2 0\n2 3\n2\n3\n";
+        let m = from_seq_aag_str(text).unwrap();
+        assert_eq!((m.num_pis(), m.num_latches(), m.num_pos()), (0, 1, 2));
+        let outs = m.simulate(&[vec![], vec![], vec![]]);
+        assert_eq!(outs[0], vec![false, true]);
+        assert_eq!(outs[1], vec![true, false]);
+        assert_eq!(outs[2], vec![false, true]);
+    }
+
+    #[test]
+    fn seq_reader_accepts_combinational_files() {
+        let g = sample();
+        let text = to_aag_string(&g);
+        let m = from_seq_aag_str(&text).unwrap();
+        assert_eq!(m.num_latches(), 0);
+        assert_eq!(m.num_pis(), g.num_pis());
+        let outs = m.simulate(&[vec![true, false, true]]);
+        assert_eq!(outs[0], g.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn out_of_range_variables_are_errors_not_panics() {
+        // Input and latch variables above the header's M must fail
+        // gracefully (regression: these used to index out of bounds).
+        assert!(matches!(
+            from_aag_str("aag 1 1 0 0 0\n4\n"),
+            Err(ParseAigerError::Malformed(_))
+        ));
+        assert!(matches!(
+            from_seq_aag_str("aag 1 0 1 0 0\n4 2\n"),
+            Err(ParseAigerError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn seq_reader_rejects_nonzero_reset() {
+        // AIGER 1.9 reset fields: 0 accepted, anything else rejected.
+        assert!(from_seq_aag_str("aag 1 0 1 0 0\n2 3 0\n").is_ok());
+        assert!(matches!(
+            from_seq_aag_str("aag 1 0 1 0 0\n2 3 1\n"),
+            Err(ParseAigerError::Malformed(_))
+        ));
+        assert!(from_seq_aag_str("aag 1 0 1 0 0\n2 3 0 7\n").is_err());
+        assert!(
+            from_seq_aag_str("aag 1 0 1 0 0\n3 2\n").is_err(),
+            "odd latch literal"
+        );
+    }
+
+    #[test]
+    fn combinational_reader_still_rejects_latches() {
+        // The latch file parses sequentially but stays rejected by the
+        // combinational entry point.
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(from_seq_aag_str(text).is_ok());
+        assert!(matches!(
+            from_aag_str(text),
+            Err(ParseAigerError::Sequential)
+        ));
     }
 
     #[test]

@@ -146,19 +146,17 @@ impl SeqAig {
             self.num_pos() > 0,
             "property check needs at least one real PO"
         );
-        let unrolled = self.unroll(k);
-        let mut out = unrolled.clone();
-        let pos: Vec<Lit> = out.pos().to_vec();
-        let any = out.or_many(&pos);
-        // Rebuild with a single PO.
-        let mut single = Aig::with_capacity(out.num_nodes());
-        let mut map: Vec<Lit> = vec![Lit::FALSE; out.num_nodes()];
-        for (i, &pi) in out.pis().iter().enumerate() {
-            let _ = i;
+        let mut unrolled = self.unroll(k);
+        let pos: Vec<Lit> = unrolled.pos().to_vec();
+        let any = unrolled.or_many(&pos);
+        // Rebuild with a single PO in one pass over the unrolled graph.
+        let mut single = Aig::with_capacity(unrolled.num_nodes());
+        let mut map: Vec<Lit> = vec![Lit::FALSE; unrolled.num_nodes()];
+        for &pi in unrolled.pis() {
             map[pi as usize] = single.add_pi();
         }
-        for v in out.iter_ands() {
-            let n = out.node(v);
+        for v in unrolled.iter_ands() {
+            let n = unrolled.node(v);
             let a = map[n.fanin0().var() as usize].xor_compl(n.fanin0().is_compl());
             let b = map[n.fanin1().var() as usize].xor_compl(n.fanin1().is_compl());
             map[v as usize] = single.and(a, b);

@@ -18,6 +18,7 @@
 
 use cnf::Cnf;
 use csat_preproc::{BaselinePipeline, Pipeline};
+use mc::{BmcEngine, BmcOptions, BmcResult};
 use sat::{solve_cnf, Budget, SolverConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,6 +27,7 @@ use workloads::cnf_gen::{pigeonhole, random_2sat, random_3sat};
 use workloads::datapath::{carry_lookahead_adder, ripple_carry_adder};
 use workloads::lec::{adder_miter, miter};
 use workloads::random_aig::{random_aig, RandomAigParams};
+use workloads::seq::counter;
 
 struct SolverRow {
     name: &'static str,
@@ -207,6 +209,58 @@ fn main() {
         }
     }
 
+    // --- BMC depth sweep: incremental engine vs monolithic baseline -----
+    // One machine, every bound up to `bmc_bound`, all queries UNSAT (the
+    // counter cannot saturate within the bound). The incremental engine
+    // keeps one solver across the sweep; the monolithic baseline
+    // re-unrolls, re-encodes and re-solves from scratch per bound — the
+    // cumulative conflict gap is the learnt-clause reuse, the wall gap
+    // adds the O(k^2) re-encoding.
+    let (bmc_bits, bmc_bound) = if smoke { (5, 6) } else { (8, 20) };
+    let machine = counter(bmc_bits);
+    struct BmcRow {
+        name: &'static str,
+        bits: usize,
+        bound: usize,
+        incremental_wall_s: f64,
+        incremental_conflicts: u64,
+        monolithic_wall_s: f64,
+        monolithic_conflicts: u64,
+        verdicts_agree: bool,
+    }
+    let bmc_row = {
+        let start = Instant::now();
+        let mut engine = BmcEngine::new(&machine, BmcOptions::default());
+        let mut inc_clean_per_bound = Vec::with_capacity(bmc_bound);
+        for k in 1..=bmc_bound {
+            inc_clean_per_bound.push(matches!(engine.check_frames(k), BmcResult::Clean { .. }));
+        }
+        let incremental_wall_s = start.elapsed().as_secs_f64();
+        let incremental_conflicts = engine.stats().conflicts;
+
+        let start = Instant::now();
+        let mut monolithic_conflicts = 0u64;
+        let mut verdicts_agree = true;
+        for k in 1..=bmc_bound {
+            let inst = machine.bmc_instance(k);
+            let (f, _) = cnf::tseitin_sat_instance(&inst);
+            let (res, stats) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+            monolithic_conflicts += stats.conflicts;
+            verdicts_agree &= res.is_unsat() == inc_clean_per_bound[k - 1];
+        }
+        let monolithic_wall_s = start.elapsed().as_secs_f64();
+        BmcRow {
+            name: "bmc_counter",
+            bits: bmc_bits,
+            bound: bmc_bound,
+            incremental_wall_s,
+            incremental_conflicts,
+            monolithic_wall_s,
+            monolithic_conflicts,
+            verdicts_agree,
+        }
+    };
+
     // --- report ---------------------------------------------------------
     let total_props: u64 = solver_rows.iter().map(|r| r.propagations).sum();
     let total_solver_wall: f64 = solver_rows.iter().map(|r| r.wall_s).sum();
@@ -281,10 +335,28 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"bmc\": [\n");
+    {
+        let r = &bmc_row;
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"bits\": {}, \"bound\": {}, \"incremental_wall_s\": {:.6}, \"incremental_conflicts\": {}, \"monolithic_wall_s\": {:.6}, \"monolithic_conflicts\": {}, \"verdicts_agree\": {}}}",
+            r.name,
+            r.bits,
+            r.bound,
+            r.incremental_wall_s,
+            r.incremental_conflicts,
+            r.monolithic_wall_s,
+            r.monolithic_conflicts,
+            r.verdicts_agree
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}}}",
-        total_solver_wall + sim_wall + fraig_wall,
+        total_solver_wall + sim_wall + fraig_wall + bmc_row.incremental_wall_s
+            + bmc_row.monolithic_wall_s,
         total_props as f64 / total_solver_wall.max(1e-9),
         sim_rows.first().map_or(0.0, |r| r.words_per_sec)
     );

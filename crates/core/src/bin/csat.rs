@@ -9,7 +9,12 @@
 //!              [--solver kissat|cadical] [--conflicts N]
 //! csat encode  <file.aag|file.aig> [--pipeline ...] [-o out.cnf]
 //! csat stats   <file.aag|file.aig>
+//! csat bmc     <file.aag> [--bound K] [--kind] [--preprocess none|synth|sweep|both]
 //! ```
+//!
+//! `bmc` reads a *sequential* AIGER file (latches allowed, real POs are
+//! the bad signals) and runs the incremental `mc` engines: bounded model
+//! checking up to `--bound`, or k-induction with `--kind`.
 
 use csat_preproc::{BaselinePipeline, CompPipeline, FrameworkPipeline, Pipeline};
 use rl::RecipePolicy;
@@ -18,14 +23,18 @@ use std::io::BufReader;
 use std::process::ExitCode;
 use synth::Recipe;
 
-const USAGE: &str = "usage: csat <solve|encode|stats> <instance.aag|instance.aig> [options]
+const USAGE: &str = "usage: csat <solve|encode|stats|bmc> <instance.aag|instance.aig> [options]
   --pipeline baseline|comp|ours   (default ours)
   --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)
   --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)
   --presolve                       run CNF presolve (BVE+subsumption) before solving
   --solver   kissat|cadical        (default kissat)
   --conflicts N                    conflict budget (default unlimited)
-  -o FILE                          output path for 'encode'";
+  -o FILE                          output path for 'encode'
+bmc options (sequential .aag input, real POs = bad signals):
+  --bound K                        frames to check / max induction strength (default 20)
+  --kind                           prove by k-induction instead of plain BMC
+  --preprocess none|synth|sweep|both  one-time transition-relation preprocessing";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +56,9 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
     let path = args.get(1).ok_or("missing instance path")?;
+    if cmd == "bmc" {
+        return run_bmc(path, args);
+    }
     let instance = load(path)?;
 
     match cmd.as_str() {
@@ -139,6 +151,111 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `csat bmc`: incremental bounded model checking / k-induction.
+fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    if !path.ends_with(".aag") {
+        return Err("bmc needs an ASCII sequential AIGER (.aag) file".into());
+    }
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let machine = aig::aiger::read_seq_aag(BufReader::new(file))
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if machine.num_pos() == 0 {
+        return Err("machine has no real PO to use as a bad signal".into());
+    }
+    let bound: usize = match flag(args, "--bound") {
+        Some(n) => n.parse().map_err(|_| "bad bound")?,
+        None => 20,
+    };
+    let query_budget = match flag(args, "--conflicts") {
+        Some(n) => Some(n.parse().map_err(|_| "bad conflict budget")?),
+        None => None,
+    };
+    let preprocess = match flag(args, "--preprocess").as_deref() {
+        None | Some("none") => mc::Preprocess::None,
+        Some("synth") => mc::Preprocess::Synth(synth::Recipe::size_script()),
+        Some("sweep") => mc::Preprocess::Sweep(sweep::FraigParams::default()),
+        Some("both") => {
+            mc::Preprocess::Both(synth::Recipe::size_script(), sweep::FraigParams::default())
+        }
+        Some(other) => return Err(format!("unknown preprocess mode '{other}'")),
+    };
+    eprintln!(
+        "c machine: pis={} latches={} pos={} ands={}",
+        machine.num_pis(),
+        machine.num_latches(),
+        machine.num_pos(),
+        machine.comb().num_ands()
+    );
+    let t0 = std::time::Instant::now();
+    let (cex, proved, frames) = if args.iter().any(|a| a == "--kind") {
+        let opts = mc::KindOptions {
+            solver: SolverConfig::default(),
+            query_budget,
+            preprocess,
+        };
+        match mc::prove(&machine, bound, &opts) {
+            mc::KindResult::Proved { k } => {
+                eprintln!("c proved invariant by {k}-induction in {:?}", t0.elapsed());
+                (None, true, k)
+            }
+            mc::KindResult::Cex { depth, trace } => (Some((depth, trace)), false, depth + 1),
+            mc::KindResult::Unknown { k } => {
+                eprintln!("c inconclusive at strength {k} after {:?}", t0.elapsed());
+                println!("s UNKNOWN");
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+    } else {
+        let opts = mc::BmcOptions {
+            solver: SolverConfig::default(),
+            query_budget,
+            preprocess,
+        };
+        let mut engine = mc::BmcEngine::new(&machine, opts);
+        match engine.check_frames(bound) {
+            mc::BmcResult::Cex { depth, trace } => (Some((depth, trace)), false, depth + 1),
+            mc::BmcResult::Clean { frames } => {
+                eprintln!(
+                    "c no counterexample in {frames} frames ({} conflicts, {:?})",
+                    engine.stats().conflicts,
+                    t0.elapsed()
+                );
+                println!("s UNKNOWN");
+                return Ok(ExitCode::SUCCESS);
+            }
+            mc::BmcResult::Unknown { frame } => {
+                eprintln!(
+                    "c budget exhausted at frame {frame} after {:?}",
+                    t0.elapsed()
+                );
+                println!("s UNKNOWN");
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+    };
+    if proved {
+        println!("s UNSATISFIABLE");
+        eprintln!("c property is invariant (k = {frames})");
+        return Ok(ExitCode::from(20));
+    }
+    let (depth, trace) = cex.expect("non-proved path carries a counterexample");
+    // Replay the trace before reporting it.
+    let outs = machine.simulate(&trace);
+    if !outs[depth].iter().any(|&o| o) {
+        return Err("internal error: trace does not reach a violation".into());
+    }
+    eprintln!("c counterexample at depth {depth} in {:?}", t0.elapsed());
+    println!("s SATISFIABLE");
+    for (t, frame) in trace.iter().enumerate() {
+        let bits: Vec<String> = frame
+            .iter()
+            .map(|&b| if b { "1".into() } else { "0".to_string() })
+            .collect();
+        println!("v frame {t} inputs {}", bits.join(""));
+    }
+    Ok(ExitCode::from(10))
 }
 
 fn load(path: &str) -> Result<aig::Aig, String> {

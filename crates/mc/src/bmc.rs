@@ -1,0 +1,449 @@
+//! Incremental bounded model checking on one persistent CDCL solver.
+//!
+//! The engine keeps a single [`sat::Solver`] alive across the whole depth
+//! sweep. Each new time frame is Tseitin-encoded directly into the live
+//! solver — state variables stitched frame-to-frame, frame 0 folded
+//! against the all-zero initial state — and the frame-`t` property is
+//! guarded by a per-frame activation literal and queried through
+//! [`sat::Solver::solve_with_assumptions`]. Learnt clauses, variable
+//! activities, and saved phases therefore carry across bounds: the work
+//! the solver did refuting depth `t` is the starting point for depth
+//! `t + 1`, instead of being thrown away and re-derived as the monolithic
+//! [`SeqAig::bmc_instance`]-per-bound baseline does.
+//!
+//! After an UNSAT answer the guard is retired with a unit clause and the
+//! *proved fact* `¬bad_t` is asserted, strengthening every later query.
+
+use crate::enc::{Enc, Val};
+use aig::seq::SeqAig;
+use cnf::CnfLit;
+use sat::{Budget, SolveResult, SolverConfig, Stats};
+
+/// One-time preprocessing of the transition relation before unrolling —
+/// the paper's framework as a model-checking front end. The combinational
+/// core is optimised *once*; every unrolled frame then reuses the smaller
+/// relation.
+#[derive(Clone, Debug, Default)]
+pub enum Preprocess {
+    /// Encode the core as-is.
+    #[default]
+    None,
+    /// Run a synthesis recipe (rewrite/refactor/balance/...) on the core.
+    Synth(synth::Recipe),
+    /// SAT-sweep the core (fraig).
+    Sweep(sweep::FraigParams),
+    /// Recipe first, then sweeping.
+    Both(synth::Recipe, sweep::FraigParams),
+}
+
+impl Preprocess {
+    /// Applies the preprocessing to the machine's combinational core.
+    /// Every variant preserves the core's PI/PO interface, so the latch
+    /// boundary transfers unchanged.
+    pub fn apply(&self, seq: &SeqAig) -> SeqAig {
+        let core = match self {
+            Preprocess::None => return seq.clone(),
+            Preprocess::Synth(recipe) => recipe.apply(seq.comb()),
+            Preprocess::Sweep(params) => sweep::fraig(seq.comb(), params).aig,
+            Preprocess::Both(recipe, params) => sweep::fraig(&recipe.apply(seq.comb()), params).aig,
+        };
+        SeqAig::new(core, seq.num_pis(), seq.num_latches())
+    }
+}
+
+/// Options for [`BmcEngine`].
+#[derive(Clone, Debug, Default)]
+pub struct BmcOptions {
+    /// Solver configuration.
+    pub solver: SolverConfig,
+    /// Conflict budget per frame query (`None` = unlimited). The engine
+    /// charges it on top of the solver's cumulative conflict count, so a
+    /// budgeted query never eats a later query's allowance.
+    pub query_budget: Option<u64>,
+    /// One-time transition-relation preprocessing.
+    pub preprocess: Preprocess,
+}
+
+/// Outcome of a [`BmcEngine::check_frames`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BmcResult {
+    /// The property fires at frame `depth`; `trace` is the frame-major
+    /// input trace (one vector of real-PI values per frame `0..=depth`),
+    /// replayable by [`SeqAig::simulate`]. The depth is minimal: every
+    /// earlier frame was proved clean first.
+    Cex {
+        /// First frame at which a real PO fires.
+        depth: usize,
+        /// Real-PI values per frame, `trace[t][i]` = PI `i` at frame `t`.
+        trace: Vec<Vec<bool>>,
+    },
+    /// All checked frames are property-clean.
+    Clean {
+        /// Number of frames proved clean (frames `0..frames`).
+        frames: usize,
+    },
+    /// The per-query budget ran out while checking `frame`.
+    Unknown {
+        /// Frame whose query exhausted the budget.
+        frame: usize,
+    },
+}
+
+impl BmcResult {
+    /// True for [`BmcResult::Cex`].
+    pub fn is_cex(&self) -> bool {
+        matches!(self, BmcResult::Cex { .. })
+    }
+}
+
+/// A pending (budget-exhausted) frame query: frame index, activation
+/// literal, property literal.
+#[derive(Clone, Copy, Debug)]
+struct PendingQuery {
+    frame: usize,
+    act: CnfLit,
+    bad: CnfLit,
+}
+
+/// Incremental bounded-model-checking engine.
+///
+/// ```
+/// use mc::{BmcEngine, BmcOptions, BmcResult};
+/// # use aig::{Aig, Lit};
+/// # use aig::seq::SeqAig;
+/// # // 2-bit enable-gated counter, bad = all-ones.
+/// # let mut g = Aig::new();
+/// # let en = g.add_pi();
+/// # let s0 = g.add_pi();
+/// # let s1 = g.add_pi();
+/// # let n0 = g.xor(s0, en);
+/// # let c = g.and(s0, en);
+/// # let n1 = g.xor(s1, c);
+/// # let bad = g.and(s0, s1);
+/// # g.add_po(bad);
+/// # g.add_po(n0);
+/// # g.add_po(n1);
+/// # let machine = SeqAig::new(g, 1, 2);
+/// let mut engine = BmcEngine::new(&machine, BmcOptions::default());
+/// assert_eq!(engine.check_frames(3), BmcResult::Clean { frames: 3 });
+/// match engine.check_frames(6) {
+///     BmcResult::Cex { depth: 3, trace } => {
+///         // The trace replays through the machine itself.
+///         let outs = machine.simulate(&trace);
+///         assert!(outs[3][0]);
+///     }
+///     other => panic!("expected a depth-3 counterexample, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BmcEngine {
+    seq: SeqAig,
+    reach: Vec<bool>,
+    enc: Enc,
+    query_budget: Option<u64>,
+    /// Solver variables of each encoded frame's real PIs.
+    frame_pis: Vec<Vec<u32>>,
+    /// State values entering the next frame to encode.
+    state: Vec<Val>,
+    /// Frames proved property-clean so far (a prefix `0..clean_frames`).
+    clean_frames: usize,
+    /// Query interrupted by the budget, to resume instead of re-encoding.
+    pending: Option<PendingQuery>,
+    /// Counterexample, once found (the engine is then exhausted).
+    cex: Option<(usize, Vec<Vec<bool>>)>,
+}
+
+impl BmcEngine {
+    /// Builds an engine for the machine (applying the configured one-time
+    /// preprocessing to the transition relation).
+    ///
+    /// # Panics
+    /// Panics if the machine has no real PO to use as the bad signal.
+    pub fn new(seq: &SeqAig, opts: BmcOptions) -> BmcEngine {
+        assert!(
+            seq.num_pos() > 0,
+            "property check needs at least one real PO"
+        );
+        let seq = opts.preprocess.apply(seq);
+        let reach = seq.comb().reachable_from_pos();
+        let state = vec![Val::Const(false); seq.num_latches()];
+        BmcEngine {
+            reach,
+            enc: Enc::new(opts.solver),
+            query_budget: opts.query_budget,
+            frame_pis: Vec::new(),
+            state,
+            clean_frames: 0,
+            pending: None,
+            cex: None,
+            seq,
+        }
+    }
+
+    /// The machine under check (after preprocessing).
+    pub fn machine(&self) -> &SeqAig {
+        &self.seq
+    }
+
+    /// Frames proved clean so far.
+    pub fn clean_frames(&self) -> usize {
+        self.clean_frames
+    }
+
+    /// Cumulative statistics of the persistent solver.
+    pub fn stats(&self) -> &Stats {
+        self.enc.solver.stats()
+    }
+
+    /// Ensures frames `0..frames` are checked, reusing all prior work.
+    ///
+    /// Returns the first counterexample (its depth is minimal), `Clean`
+    /// when every requested frame is refuted, or `Unknown` on budget
+    /// exhaustion — in which case calling again continues the interrupted
+    /// query with a fresh budget instead of starting over.
+    pub fn check_frames(&mut self, frames: usize) -> BmcResult {
+        if let Some((depth, trace)) = &self.cex {
+            // The cached counterexample only answers bounds that include
+            // its frame; below that, every requested frame was proved
+            // clean before the violation was found.
+            return if *depth < frames {
+                BmcResult::Cex {
+                    depth: *depth,
+                    trace: trace.clone(),
+                }
+            } else {
+                BmcResult::Clean { frames }
+            };
+        }
+        while self.clean_frames < frames {
+            if let Some(result) = self.step() {
+                return result;
+            }
+        }
+        BmcResult::Clean { frames }
+    }
+
+    /// Checks one more frame (or resumes an interrupted query). `None`
+    /// means the frame was proved clean and the sweep may continue.
+    fn step(&mut self) -> Option<BmcResult> {
+        let query = match self.pending.take() {
+            Some(q) => q,
+            None => match self.encode_next_frame() {
+                Ok(q) => q,
+                Err(result) => return result,
+            },
+        };
+        if let Some(budget) = self.query_budget {
+            let limit = self.enc.solver.stats().conflicts + budget;
+            self.enc.solver.set_budget(Budget::conflicts(limit));
+        }
+        match self.enc.solver.solve_with_assumptions(&[query.act]) {
+            SolveResult::Sat(model) => {
+                let trace = self.decode_trace(&model, query.frame);
+                self.cex = Some((query.frame, trace.clone()));
+                Some(BmcResult::Cex {
+                    depth: query.frame,
+                    trace,
+                })
+            }
+            SolveResult::Unsat => {
+                // Retire the guard and assert the proved fact: the bad
+                // signal cannot fire at this frame.
+                self.enc.solver.add_clause_cnf(&[!query.act]);
+                self.enc.solver.add_clause_cnf(&[!query.bad]);
+                self.clean_frames += 1;
+                None
+            }
+            SolveResult::Unknown => {
+                self.pending = Some(query);
+                Some(BmcResult::Unknown { frame: query.frame })
+            }
+        }
+    }
+
+    /// Encodes the next time frame and prepares its guarded property
+    /// query. `Err` short-circuits: either the frame folded to a constant
+    /// (clean, or a trivial counterexample) and no query is needed.
+    fn encode_next_frame(&mut self) -> Result<PendingQuery, Option<BmcResult>> {
+        let t = self.frame_pis.len();
+        let pis: Vec<u32> = (0..self.seq.num_pis()).map(|_| self.enc.fresh()).collect();
+        let mut ins: Vec<Val> = pis.iter().map(|&v| Val::Lit(CnfLit::pos(v))).collect();
+        ins.extend(self.state.iter().copied());
+        self.frame_pis.push(pis);
+        let (pos, next) = self.enc.encode_frame(&self.seq, &self.reach, &ins);
+        self.state = next;
+        match self.enc.bad_of(pos) {
+            Val::Const(false) => {
+                // The frame cannot fire regardless of inputs.
+                self.clean_frames += 1;
+                Err(None)
+            }
+            Val::Const(true) => {
+                // The frame fires for *every* input assignment: any trace
+                // is a witness.
+                let trace = vec![vec![false; self.seq.num_pis()]; t + 1];
+                self.cex = Some((t, trace.clone()));
+                Err(Some(BmcResult::Cex { depth: t, trace }))
+            }
+            Val::Lit(bad) => {
+                let act = self.enc.fresh_lit();
+                self.enc.solver.add_clause_cnf(&[!act, bad]);
+                Ok(PendingQuery { frame: t, act, bad })
+            }
+        }
+    }
+
+    /// Frame-major input trace for frames `0..=depth` from a solver model.
+    fn decode_trace(&self, model: &[bool], depth: usize) -> Vec<Vec<bool>> {
+        self.frame_pis[..=depth]
+            .iter()
+            .map(|vars| {
+                vars.iter()
+                    // A PI that appears in no clause may sit beyond the
+                    // solver's model; any value works, pick false.
+                    .map(|&v| model.get(v as usize - 1).copied().unwrap_or(false))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::seq::{counter, mod_counter, pattern_fsm, retimed_adder_lec};
+
+    fn check(seq: &SeqAig, frames: usize) -> BmcResult {
+        BmcEngine::new(seq, BmcOptions::default()).check_frames(frames)
+    }
+
+    #[test]
+    fn counter_counterexample_at_exact_depth() {
+        let m = counter(3);
+        let mut engine = BmcEngine::new(&m, BmcOptions::default());
+        assert_eq!(engine.check_frames(7), BmcResult::Clean { frames: 7 });
+        match engine.check_frames(12) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, 7, "3-bit counter saturates after 7 ticks");
+                let outs = m.simulate(&trace);
+                assert!(outs[depth][0], "trace must replay to a violation");
+                assert!(outs[..depth].iter().all(|o| !o[0]), "depth is minimal");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deepening_reuses_the_cached_cex() {
+        let m = counter(2);
+        let mut engine = BmcEngine::new(&m, BmcOptions::default());
+        let first = engine.check_frames(8);
+        assert!(matches!(first, BmcResult::Cex { depth: 3, .. }));
+        assert_eq!(engine.check_frames(20), first, "cex is cached");
+        // A bound below the cached depth is still a clean verdict: the
+        // violation lies outside the requested frames.
+        assert_eq!(engine.check_frames(3), BmcResult::Clean { frames: 3 });
+        assert_eq!(engine.check_frames(4), first, "bound includes the cex");
+    }
+
+    #[test]
+    fn true_invariant_stays_clean() {
+        let m = mod_counter(3, 6);
+        assert_eq!(check(&m, 25), BmcResult::Clean { frames: 25 });
+    }
+
+    #[test]
+    fn lec_product_machine_stays_clean() {
+        let m = retimed_adder_lec(3);
+        assert_eq!(check(&m, 8), BmcResult::Clean { frames: 8 });
+    }
+
+    #[test]
+    fn pattern_fsm_found_at_pattern_length() {
+        let pattern = [true, false, true];
+        let m = pattern_fsm(&pattern);
+        match check(&m, 10) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, pattern.len());
+                assert!(m.simulate(&trace)[depth][0]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_interrupt_resumes() {
+        // A one-conflict budget interrupts queries constantly; re-calling
+        // must resume the same frame (fresh allowance), not skip or
+        // re-encode it, and the drip-fed sweep must reach the same
+        // minimal-depth counterexample as an unbudgeted run.
+        let m = counter(4);
+        let mut engine = BmcEngine::new(
+            &m,
+            BmcOptions {
+                query_budget: Some(1),
+                ..BmcOptions::default()
+            },
+        );
+        let mut unknowns = 0;
+        loop {
+            match engine.check_frames(16) {
+                BmcResult::Unknown { .. } => unknowns += 1,
+                BmcResult::Cex { depth, trace } => {
+                    assert_eq!(depth, 15);
+                    assert!(m.simulate(&trace)[depth][0]);
+                    break;
+                }
+                BmcResult::Clean { .. } => panic!("counter must fire at depth 15"),
+            }
+            assert!(unknowns < 10_000, "no progress under budget");
+        }
+    }
+
+    #[test]
+    fn preprocessing_preserves_verdicts() {
+        let m = counter(3);
+        for pre in [
+            Preprocess::Synth(synth::Recipe::size_script()),
+            Preprocess::Sweep(sweep::FraigParams {
+                threads: 1,
+                ..sweep::FraigParams::default()
+            }),
+        ] {
+            let mut engine = BmcEngine::new(
+                &m,
+                BmcOptions {
+                    preprocess: pre,
+                    ..BmcOptions::default()
+                },
+            );
+            assert_eq!(engine.check_frames(7), BmcResult::Clean { frames: 7 });
+            match engine.check_frames(9) {
+                BmcResult::Cex { depth, trace } => {
+                    assert_eq!(depth, 7);
+                    // The trace replays on the ORIGINAL machine.
+                    assert!(m.simulate(&trace)[depth][0]);
+                }
+                other => panic!("expected counterexample, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latch_machine_is_per_frame_sat() {
+        // Combinational XOR as a "machine": frame 0 already fires.
+        let mut g = aig::Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let m = SeqAig::new(g, 2, 0);
+        match check(&m, 4) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, 0);
+                assert!(m.simulate(&trace)[0][0]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

@@ -1001,6 +1001,12 @@ impl Solver {
                     }
                     Some(l) => {
                         if self.budget_exhausted() {
+                            // The popped branch variable is still
+                            // unassigned: put it back or it would leak
+                            // from the order heap across budgeted calls
+                            // (and could eventually fake a SAT answer
+                            // with unassigned variables).
+                            self.order.insert(l.var(), &self.activity);
                             self.backtrack(0);
                             return SolveResult::Unknown;
                         }
@@ -1231,6 +1237,27 @@ mod tests {
         if r == SolveResult::Unknown {
             assert!(stats.decisions >= 3);
         }
+    }
+
+    #[test]
+    fn budget_exhaustion_does_not_leak_heap_vars() {
+        // Regression: hitting the budget right after popping a branch
+        // variable used to drop it from the order heap while unassigned;
+        // enough budgeted re-queries then produced a bogus SAT with
+        // unassigned variables. Re-querying many times with a tiny budget
+        // must keep returning honest answers.
+        let f = workloads_php(5);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        let mut answer = SolveResult::Unknown;
+        for _ in 0..50_000 {
+            let limit = s.stats().conflicts + 1;
+            s.set_budget(Budget::conflicts(limit));
+            answer = s.solve();
+            if answer != SolveResult::Unknown {
+                break;
+            }
+        }
+        assert_eq!(answer, SolveResult::Unsat, "php(5) is unsatisfiable");
     }
 
     #[test]

@@ -48,6 +48,19 @@ pub struct FraigParams {
     /// machine's parallelism. Effective parallelism is capped by the shard
     /// count.
     pub shards: usize,
+    /// Warm-start the shard oracles: at the start of every round after the
+    /// first, every shard's solver is re-forked (cloned, learnt clauses
+    /// and heuristic state included) from the *seasoned* shard-0 oracle
+    /// instead of keeping its own isolated lineage off the cold base
+    /// solver. This shares one shard's lemmas with all of them each round,
+    /// attacking the per-shard lemma re-learning overhead that sharding
+    /// introduces.
+    ///
+    /// Deterministic for a pinned shard count (shard 0's query sequence is
+    /// thread-independent). Has no effect with a single shard, so the
+    /// `threads: 1` classic path stays bit-identical whatever this is set
+    /// to. Default `false`.
+    pub warm_start: bool,
 }
 
 impl Default for FraigParams {
@@ -60,6 +73,7 @@ impl Default for FraigParams {
             seed: 0x5eed_f4a1,
             threads: 0,
             shards: 0,
+            warm_start: false,
         }
     }
 }
@@ -198,6 +212,19 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
             }
         }
 
+        // Warm start: re-fork every other shard from the seasoned shard-0
+        // oracle (a memcpy, like cold construction) so this round's
+        // queries start from its accumulated learnt clauses instead of
+        // each shard's isolated lineage.
+        if params.warm_start && round > 0 && shards > 1 {
+            let (seasoned, rest) = oracles.split_first_mut().expect("shards >= 1");
+            if let Some(seasoned) = seasoned {
+                for slot in rest {
+                    *slot = Some(seasoned.clone());
+                }
+            }
+        }
+
         // Prove the whole list on the sharded oracles (in parallel when
         // threads allow), then merge the answers in pair-index order.
         stats.sat_calls += tasks.len() as u64;
@@ -309,6 +336,8 @@ enum Answer {
 
 /// Incremental equivalence oracle: one CDCL solver holding the Tseitin
 /// encoding, queried per candidate pair through activation literals.
+/// `Clone` forks the full incremental state (the warm-start path).
+#[derive(Clone)]
 struct PairOracle {
     solver: Solver,
     /// Next fresh variable for activation literals.
@@ -663,6 +692,81 @@ mod tests {
             );
         }
         assert_eq!(outcomes[0].aig.pos()[0], Lit::FALSE);
+    }
+
+    #[test]
+    fn warm_start_is_correct_and_thread_invariant() {
+        // Warm-started sharding changes which lemmas each oracle holds,
+        // never the soundness: the outcome must stay equivalent, still be
+        // bit-identical across thread counts for a pinned shard count, and
+        // still collapse the miter.
+        let mut g = equivalence_miter(5);
+        // Extra near-equal pairs (differ on one minterm each) so starved
+        // simulation aliases them, SAT disproves them, and their
+        // counterexamples force a second round — the one warm start
+        // actually re-forks for.
+        let extra = g.add_pis(6);
+        let all = g.and_many(&extra);
+        let most = g.and_many(&extra[..5]);
+        let d = g.xor(all, most);
+        let po0 = g.pos()[0];
+        let both = g.or(po0, d);
+        g.set_po(0, both);
+        let outcomes: Vec<FraigOutcome> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                fraig(
+                    &g,
+                    &FraigParams {
+                        threads,
+                        shards: 4,
+                        warm_start: true,
+                        sim_words: 1, // starve simulation so rounds carry SAT work
+                        ..FraigParams::default()
+                    },
+                )
+            })
+            .collect();
+        for (i, out) in outcomes.iter().enumerate().skip(1) {
+            assert_eq!(out.stats, outcomes[0].stats, "stats diverged at run {i}");
+            assert!(
+                same_aig(&out.aig, &outcomes[0].aig),
+                "graph diverged at {i}"
+            );
+        }
+        assert!(
+            sim_equiv(&g, &outcomes[0].aig, 16, 11),
+            "must stay equivalent"
+        );
+        assert!(outcomes[0].stats.rounds > 1, "warm start needs a 2nd round");
+        assert!(
+            outcomes[0].stats.disproved > 0,
+            "near-equal pairs must split"
+        );
+    }
+
+    #[test]
+    fn warm_start_is_identity_on_the_classic_path() {
+        // With a single shard there is nothing to re-fork: the flag must
+        // leave the classic threads=1 sweep bit-identical.
+        let g = equivalence_miter(4);
+        let classic = fraig(
+            &g,
+            &FraigParams {
+                threads: 1,
+                ..FraigParams::default()
+            },
+        );
+        let flagged = fraig(
+            &g,
+            &FraigParams {
+                threads: 1,
+                warm_start: true,
+                ..FraigParams::default()
+            },
+        );
+        assert_eq!(classic.stats, flagged.stats);
+        assert!(same_aig(&classic.aig, &flagged.aig));
     }
 
     #[test]

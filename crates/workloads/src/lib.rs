@@ -16,6 +16,8 @@
 //!   converters,
 //! * [`lec`] — miter construction, bug injection, structural perturbation,
 //! * [`atpg`] — stuck-at-fault injection and testability filtering,
+//! * [`seq`] — sequential machines (counters, FSMs, retimed-adder product
+//!   machines) with safety properties for the `mc` subsystem,
 //! * [`random_aig`] — layered random graphs,
 //! * [`dataset`] — seed-deterministic train/test splits with Table-I-style
 //!   statistics.
@@ -38,6 +40,7 @@ pub mod encoders;
 pub mod lec;
 pub mod prefix_adders;
 pub mod random_aig;
+pub mod seq;
 pub mod shifters;
 pub mod wallace;
 

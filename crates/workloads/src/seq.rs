@@ -1,0 +1,247 @@
+//! Sequential workload generators for the model-checking subsystem.
+//!
+//! Each generator returns a [`SeqAig`] whose single real PO is the *bad*
+//! signal of a safety property, so the machines plug directly into
+//! `mc::bmc` / `mc::kind` and into [`SeqAig::bmc_instance`]:
+//!
+//! * [`counter`] — enable-gated binary counter whose bad signal fires at
+//!   the all-ones state: falsifiable, with the counterexample depth
+//!   controlled by the bit width (depth `2^bits - 1`).
+//! * [`mod_counter`] — resettable (modulo-`m`) counter whose bad signal
+//!   watches the *unreachable* all-ones state: a true safety property that
+//!   bounded model checking can never close but k-induction proves.
+//! * [`pattern_fsm`] — shift-register FSM that fires when the last `n`
+//!   inputs match a pattern: shallow, input-driven counterexamples.
+//! * [`retimed_adder_lec`] — product machine of two differently-retimed
+//!   adder implementations (output register vs. input registers), bad =
+//!   outputs differ: sequential LEC, UNSAT at every depth and 1-inductive.
+
+use aig::seq::SeqAig;
+use aig::{Aig, Lit};
+
+/// Enable-gated `bits`-bit binary counter; the bad signal fires at the
+/// all-ones state, first reachable at depth `2^bits - 1`.
+///
+/// # Panics
+/// Panics if `bits == 0`.
+pub fn counter(bits: usize) -> SeqAig {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut g = Aig::new();
+    let en = g.add_pi();
+    let state: Vec<Lit> = (0..bits).map(|_| g.add_pi()).collect();
+    let (next, _) = increment(&mut g, &state, en);
+    let bad = g.and_many(&state);
+    g.add_po(bad);
+    for nx in next {
+        g.add_po(nx);
+    }
+    SeqAig::new(g, 1, bits)
+}
+
+/// Enable-gated resettable counter over `bits` bits counting
+/// `0, 1, …, modulus-1, 0, …`; the bad signal watches the all-ones state.
+///
+/// With `modulus <= 2^bits - 1` the all-ones state is unreachable, making
+/// the property a *true* invariant: plain BMC reports "clean" at every
+/// bound without ever proving it, while k-induction (with simple-path
+/// constraints) closes it at small k.
+///
+/// # Panics
+/// Panics if `bits == 0` or `modulus` is not in `2..=2^bits`.
+pub fn mod_counter(bits: usize, modulus: u64) -> SeqAig {
+    assert!(bits > 0 && bits < 64, "bit width out of range");
+    assert!(
+        (2..=1u64 << bits).contains(&modulus),
+        "modulus must fit the state space"
+    );
+    let mut g = Aig::new();
+    let en = g.add_pi();
+    let state: Vec<Lit> = (0..bits).map(|_| g.add_pi()).collect();
+    let (inc, _) = increment(&mut g, &state, en);
+    // Wrap detection: state == modulus - 1.
+    let eq_bits: Vec<Lit> = state
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| if (modulus - 1) >> i & 1 != 0 { s } else { !s })
+        .collect();
+    let at_wrap = g.and_many(&eq_bits);
+    let wrap = g.and(at_wrap, en);
+    // next = wrap ? 0 : inc.
+    let next: Vec<Lit> = inc.iter().map(|&b| g.and(b, !wrap)).collect();
+    let bad = g.and_many(&state);
+    g.add_po(bad);
+    for nx in next {
+        g.add_po(nx);
+    }
+    SeqAig::new(g, 1, bits)
+}
+
+/// Single-input FSM holding its last `pattern.len()` inputs in a shift
+/// register; the bad signal fires when they match `pattern` (most recent
+/// input last).
+///
+/// # Panics
+/// Panics if the pattern is empty.
+pub fn pattern_fsm(pattern: &[bool]) -> SeqAig {
+    let n = pattern.len();
+    assert!(n > 0, "pattern must be non-empty");
+    let mut g = Aig::new();
+    let input = g.add_pi();
+    // regs[0] holds the most recent input, regs[i] the one i+1 steps back.
+    let regs: Vec<Lit> = (0..n).map(|_| g.add_pi()).collect();
+    let match_bits: Vec<Lit> = regs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| if pattern[n - 1 - i] { r } else { !r })
+        .collect();
+    let bad = g.and_many(&match_bits);
+    g.add_po(bad);
+    g.add_po(input); // next regs[0]
+    for &r in &regs[..n - 1] {
+        g.add_po(r); // next regs[i+1] = regs[i]
+    }
+    SeqAig::new(g, 1, n)
+}
+
+/// Product machine for sequential LEC of two retimed `bits`-bit adders:
+/// implementation A registers the combinational ripple-carry sum, B
+/// registers the inputs and adds combinationally (majority-form carries).
+/// Both have one cycle of latency, so the bad signal (some output pair
+/// differs) never fires — a true invariant, and an inductive one.
+///
+/// # Panics
+/// Panics if `bits == 0`.
+pub fn retimed_adder_lec(bits: usize) -> SeqAig {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut g = Aig::new();
+    let xs = g.add_pis(bits);
+    let ys = g.add_pis(bits);
+    // Latch order: A's output registers (bits+1), then B's input registers.
+    let a_regs = g.add_pis(bits + 1);
+    let bx = g.add_pis(bits);
+    let by = g.add_pis(bits);
+
+    // A: ripple-carry sum of the current inputs, to be registered.
+    let a_next = ripple_sum(&mut g, &xs, &ys);
+    // B: majority-carry sum of the registered inputs, output combinationally.
+    let b_out = majority_sum(&mut g, &bx, &by);
+
+    let diffs: Vec<Lit> = a_regs
+        .iter()
+        .zip(&b_out)
+        .map(|(&a, &b)| g.xor(a, b))
+        .collect();
+    let bad = g.or_many(&diffs);
+    g.add_po(bad);
+    for nx in a_next.iter().chain(&xs).chain(&ys) {
+        g.add_po(*nx);
+    }
+    SeqAig::new(g, 2 * bits, 3 * bits + 1)
+}
+
+/// Ripple increment of `state` by `en`; returns (next bits, carry out).
+fn increment(g: &mut Aig, state: &[Lit], en: Lit) -> (Vec<Lit>, Lit) {
+    let mut carry = en;
+    let mut next = Vec::with_capacity(state.len());
+    for &s in state {
+        next.push(g.xor(s, carry));
+        carry = g.and(s, carry);
+    }
+    (next, carry)
+}
+
+/// Ripple-carry adder: `bits + 1` sum literals (carry-out last).
+fn ripple_sum(g: &mut Aig, xs: &[Lit], ys: &[Lit]) -> Vec<Lit> {
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(xs.len() + 1);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let s = g.xor(x, y);
+        sums.push(g.xor(s, carry));
+        let c1 = g.and(x, y);
+        let c2 = g.and(s, carry);
+        carry = g.or(c1, c2);
+    }
+    sums.push(carry);
+    sums
+}
+
+/// Structurally different adder: majority-form carry chain.
+fn majority_sum(g: &mut Aig, xs: &[Lit], ys: &[Lit]) -> Vec<Lit> {
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(xs.len() + 1);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let s1 = g.xor(x, y);
+        sums.push(g.xor(s1, carry));
+        let ab = g.and(x, y);
+        let ac = g.and(x, carry);
+        let bc = g.and(y, carry);
+        let t = g.or(ab, ac);
+        carry = g.or(t, bc);
+    }
+    sums.push(carry);
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates with the enable held high and returns the first step whose
+    /// bad signal fires, if any.
+    fn first_bad(m: &SeqAig, steps: usize) -> Option<usize> {
+        let stimulus: Vec<Vec<bool>> = (0..steps).map(|_| vec![true; m.num_pis()]).collect();
+        m.simulate(&stimulus).iter().position(|o| o[0])
+    }
+
+    #[test]
+    fn counter_saturates_at_depth() {
+        assert_eq!(first_bad(&counter(3), 12), Some(7));
+        assert_eq!(first_bad(&counter(4), 20), Some(15));
+    }
+
+    #[test]
+    fn mod_counter_never_reaches_all_ones() {
+        let m = mod_counter(3, 6); // counts 0..=5, state 7 unreachable
+        assert_eq!(first_bad(&m, 40), None);
+        // Sanity: modulus 8 == full range does reach all-ones.
+        assert_eq!(first_bad(&mod_counter(3, 8), 12), Some(7));
+    }
+
+    #[test]
+    fn mod_counter_wraps() {
+        let m = mod_counter(3, 6);
+        // With en always on, next-state sequence is 0,1,2,3,4,5,0,1,...
+        // Observe the wrap through the (bad-free) simulation of 13 steps.
+        let stimulus: Vec<Vec<bool>> = (0..13).map(|_| vec![true]).collect();
+        let outs = m.simulate(&stimulus);
+        assert!(outs.iter().all(|o| !o[0]));
+    }
+
+    #[test]
+    fn pattern_fsm_detects_its_pattern() {
+        let pattern = [true, true, false, true];
+        let m = pattern_fsm(&pattern);
+        // Feed the pattern itself: bad fires once the register has it,
+        // i.e. at the step *after* the last pattern bit was consumed.
+        let mut stimulus: Vec<Vec<bool>> = pattern.iter().map(|&b| vec![b]).collect();
+        stimulus.push(vec![false]);
+        let outs = m.simulate(&stimulus);
+        assert_eq!(outs.iter().position(|o| o[0]), Some(pattern.len()));
+        // An all-ones stream never matches a pattern containing a zero.
+        assert_eq!(first_bad(&m, 12), None);
+    }
+
+    #[test]
+    fn retimed_adders_agree_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = retimed_adder_lec(4);
+        for _ in 0..10 {
+            let stimulus: Vec<Vec<bool>> = (0..8)
+                .map(|_| (0..m.num_pis()).map(|_| rng.gen()).collect())
+                .collect();
+            let outs = m.simulate(&stimulus);
+            assert!(outs.iter().all(|o| !o[0]), "retimed adders must agree");
+        }
+    }
+}
