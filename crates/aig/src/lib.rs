@@ -7,7 +7,8 @@
 //! * the [`Aig`] container with structural hashing and constant folding,
 //! * [`Lit`]/[`Var`] literal types in the AIGER encoding,
 //! * AIGER ASCII/binary I/O ([`aiger`]),
-//! * bit-parallel simulation ([`sim`]) and equivalence checks ([`check`]),
+//! * bit-parallel simulation ([`sim`]), compiled levelized simulation
+//!   programs ([`compile`]), and equivalence checks ([`check`]),
 //! * multi-word truth tables with ISOP covers ([`Tt`], [`tt::Cube`]) — the
 //!   source of the paper's *branching complexity* metric,
 //! * k-feasible cut enumeration ([`cut`]),
@@ -35,6 +36,7 @@
 mod aig;
 pub mod aiger;
 pub mod check;
+pub mod compile;
 pub mod cut;
 pub mod dot;
 pub mod hash;
@@ -47,6 +49,7 @@ pub mod sim;
 pub mod tt;
 
 pub use crate::aig::{Aig, GateList};
+pub use crate::compile::{OutRef, SimProgram};
 pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
 pub use crate::tt::{Cube, Tt};

@@ -12,6 +12,7 @@
 //! model checking feeds sequential problems to a combinational engine.
 
 use crate::aig::Aig;
+use crate::compile::SimProgram;
 use crate::lit::Lit;
 
 /// A sequential AIG: combinational core + latch boundary.
@@ -72,21 +73,48 @@ impl SeqAig {
     /// Simulates the machine from the all-zero initial state, one input
     /// vector per step; returns the real-output vector of each step.
     ///
+    /// Thin wrapper over [`SeqAig::simulate_words`]: each step runs one
+    /// compiled program pass in bit 0 of the simulation words, instead of
+    /// the old per-frame `Vec<bool>` clone/extend/eval storm.
+    ///
     /// # Panics
     /// Panics if any input vector has the wrong width.
     pub fn simulate(&self, inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
-        let mut state = vec![false; self.num_latches];
-        let mut out = Vec::with_capacity(inputs.len());
-        for ins in inputs {
-            assert_eq!(ins.len(), self.num_pis, "one value per real PI required");
-            let mut full = ins.clone();
-            full.extend_from_slice(&state);
-            let values = self.comb.eval(&full);
-            let (pos, next) = values.split_at(self.num_pos());
-            out.push(pos.to_vec());
-            state = next.to_vec();
-        }
-        out
+        let word_ins: Vec<Vec<u64>> = inputs
+            .iter()
+            .map(|ins| {
+                assert_eq!(ins.len(), self.num_pis, "one value per real PI required");
+                ins.iter().map(|&b| b as u64).collect()
+            })
+            .collect();
+        self.simulate_words(&word_ins)
+            .into_iter()
+            .map(|ws| ws.into_iter().map(|w| w & 1 != 0).collect())
+            .collect()
+    }
+
+    /// Word-level simulation from the all-zero initial state: each input
+    /// word carries 64 independent traces in parallel (bit `i` of every
+    /// word belongs to trace `i`), one vector of `num_pis` words per
+    /// step. Returns the real-output words of each step.
+    ///
+    /// Built on the compiled stepper ([`SeqAig::stepper`]): the core is
+    /// compiled once and the whole run is allocation-light — one program
+    /// pass per frame over word-packed latch state.
+    ///
+    /// # Panics
+    /// Panics if any input vector has the wrong width.
+    pub fn simulate_words(&self, inputs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let mut stepper = self.stepper();
+        inputs
+            .iter()
+            .map(|ins| stepper.step_words(ins).to_vec())
+            .collect()
+    }
+
+    /// Compiles the core into a reusable sequential stepper.
+    pub fn stepper(&self) -> SeqStepper {
+        SeqStepper::new(self)
     }
 
     /// Time-frame expansion over `k` frames.
@@ -163,6 +191,79 @@ impl SeqAig {
         }
         single.add_po(map[any.var() as usize].xor_compl(any.is_compl()));
         single.compact().0
+    }
+}
+
+/// A compiled sequential stepper: the machine's core lowered once into a
+/// [`SimProgram`] (outputs-only mode, so dead logic is dropped and
+/// fanout-free chains fuse), with latch state kept as packed words — bit
+/// `i` of every state word belongs to simulation trace `i`, so one
+/// [`SeqStepper::step_words`] call advances 64 traces at once.
+///
+/// Used for BMC counterexample replay (one trace in bit 0) and by
+/// [`SeqAig::simulate_words`]; the interpreter path
+/// ([`crate::aig::Aig::eval`] per frame) survives as a differential
+/// oracle in the test suites.
+#[derive(Clone, Debug)]
+pub struct SeqStepper {
+    prog: SimProgram,
+    num_pis: usize,
+    num_latches: usize,
+    num_pos: usize,
+    /// One word per latch: the current state of 64 parallel traces.
+    state: Vec<u64>,
+    /// Scratch: `[PI words..., latch state words...]` fed to the program.
+    full_pi: Vec<u64>,
+    /// Scratch: program value buffer, reused across frames.
+    vals: Vec<u64>,
+    /// Real-output words of the last step.
+    out: Vec<u64>,
+}
+
+impl SeqStepper {
+    /// Compiles `m`'s core and initialises the all-zero state.
+    pub fn new(m: &SeqAig) -> SeqStepper {
+        SeqStepper {
+            prog: SimProgram::outputs_only(m.comb()),
+            num_pis: m.num_pis(),
+            num_latches: m.num_latches(),
+            num_pos: m.num_pos(),
+            state: vec![0; m.num_latches()],
+            full_pi: vec![0; m.comb().num_pis()],
+            vals: Vec::new(),
+            out: vec![0; m.num_pos()],
+        }
+    }
+
+    /// Resets every trace to the all-zero initial state.
+    pub fn reset(&mut self) {
+        self.state.fill(0);
+    }
+
+    /// Current latch state, one word per latch (trace `i` in bit `i`).
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Advances all 64 traces by one step: runs the compiled core on
+    /// `pi_words` (one word per real PI) plus the current latch state,
+    /// latches the next state, and returns the real-output words.
+    ///
+    /// # Panics
+    /// Panics if `pi_words.len()` is not the machine's real PI count.
+    pub fn step_words(&mut self, pi_words: &[u64]) -> &[u64] {
+        assert_eq!(pi_words.len(), self.num_pis, "one word per real PI");
+        self.full_pi[..self.num_pis].copy_from_slice(pi_words);
+        self.full_pi[self.num_pis..].copy_from_slice(&self.state);
+        self.prog.run_dense(&mut self.vals, 1, &self.full_pi);
+        for (o, w) in self.out.iter_mut().enumerate() {
+            *w = self.prog.output(o).read(&self.vals, 1, 0);
+        }
+        debug_assert_eq!(self.state.len(), self.num_latches);
+        for (l, s) in self.state.iter_mut().enumerate() {
+            *s = self.prog.output(self.num_pos + l).read(&self.vals, 1, 0);
+        }
+        &self.out
     }
 }
 
@@ -246,6 +347,61 @@ mod tests {
             long.eval(&ins)[0]
         });
         assert!(fired, "4 enables reach the all-ones state");
+    }
+
+    #[test]
+    fn simulate_words_lanes_match_unrolled_eval() {
+        // 8 parallel traces in bits 0..8 of the words, checked lane by
+        // lane against the independent unroll()+eval reference (not the
+        // bool wrapper, which is itself built on simulate_words).
+        let m = counter(3);
+        let k = 6;
+        let unrolled = m.unroll(k);
+        // Trace `i` enables on steps where (i + t) % 3 != 0.
+        let stimulus: Vec<Vec<u64>> = (0..k)
+            .map(|t| {
+                let mut w = 0u64;
+                for i in 0..8u64 {
+                    if !(i + t as u64).is_multiple_of(3) {
+                        w |= 1 << i;
+                    }
+                }
+                vec![w]
+            })
+            .collect();
+        let outs = m.simulate_words(&stimulus);
+        assert_eq!(outs.len(), k);
+        for lane in 0..8 {
+            let flat: Vec<bool> = stimulus.iter().map(|ws| ws[0] >> lane & 1 != 0).collect();
+            let expect = unrolled.eval(&flat);
+            for t in 0..k {
+                assert_eq!(
+                    outs[t][0] >> lane & 1 != 0,
+                    expect[t],
+                    "lane {lane} step {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_reset_and_state() {
+        let m = counter(2);
+        let mut st = m.stepper();
+        assert_eq!(st.state(), &[0, 0]);
+        // Three enabled ticks reach state 3 (all ones) in trace 0.
+        for _ in 0..3 {
+            st.step_words(&[1]);
+        }
+        assert_eq!(st.state()[0] & 1, 1);
+        assert_eq!(st.state()[1] & 1, 1);
+        // Saturation PO fires on the step *observing* the all-ones state.
+        let out = st.step_words(&[1]).to_vec();
+        assert_eq!(out[0] & 1, 1);
+        st.reset();
+        assert_eq!(st.state(), &[0, 0]);
+        let out = st.step_words(&[0]).to_vec();
+        assert_eq!(out[0] & 1, 0);
     }
 
     #[test]

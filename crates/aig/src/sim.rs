@@ -11,6 +11,7 @@
 //! neither the producer nor any consumer allocates per-node rows.
 
 use crate::aig::Aig;
+use crate::compile::SimProgram;
 use crate::tt::Tt;
 use rand::{Rng, SeedableRng};
 
@@ -102,6 +103,34 @@ impl SimVectors {
     #[inline]
     pub fn word(&self, r: usize, w: usize) -> u64 {
         self.words[r * self.n_words + w]
+    }
+
+    /// The whole word buffer, for in-crate raw-pointer producers.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Order-sensitive checksum of the whole matrix.
+    ///
+    /// Every word of every row contributes, with a per-word and per-row
+    /// rotation so that moving a word between columns or rows changes the
+    /// result — unlike a plain XOR fold, where symmetric contents (or a
+    /// row XORing to zero) make disagreement invisible. Used by the bench
+    /// harness and CI to compare engines and thread counts.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (self.words.len() as u64);
+        if self.n_words == 0 {
+            return h;
+        }
+        for row in self.words.chunks_exact(self.n_words) {
+            let mut x = 0u64;
+            for (j, &w) in row.iter().enumerate() {
+                x ^= w.rotate_left((j & 63) as u32);
+            }
+            h = h.rotate_left(7) ^ x;
+        }
+        h
     }
 
     /// Simulates the graph on one 64-pattern word per PI, writing node
@@ -205,9 +234,20 @@ pub fn random_signatures(aig: &Aig, n_words: usize, seed: u64) -> SimVectors {
 const SIM_BLOCK: usize = 8;
 
 /// [`random_signatures`] into a caller-owned matrix, reusing its buffer.
+///
+/// Wide fills (≥ 4 words) go through the compiled engine
+/// ([`SimProgram::full`] + [`random_columns_prog`]), which amortises one
+/// cheap compilation over many columns; narrow fills stay on the
+/// interpreter. Both produce bit-identical matrices, so the routing is
+/// invisible to callers.
 pub fn random_signatures_into(aig: &Aig, n_words: usize, seed: u64, sigs: &mut SimVectors) {
     sigs.reshape(aig.num_nodes(), n_words);
-    random_columns(aig, sigs, 0, n_words, seed);
+    if n_words >= 4 {
+        let prog = SimProgram::full(aig);
+        random_columns_prog(&prog, sigs, 0, n_words, seed, 1);
+    } else {
+        random_columns(aig, sigs, 0, n_words, seed);
+    }
 }
 
 /// Decorrelates a per-block random stream from the base seed (splitmix64
@@ -318,6 +358,133 @@ pub fn random_columns_par(
                         }
                     }
                     b += workers;
+                }
+            });
+        }
+    });
+}
+
+/// [`random_columns_par`] driven by a compiled program instead of the
+/// interpreter.
+///
+/// The block structure and per-block RNG streams are identical to the
+/// interpreter producers', and a [`SimProgram::full`] program writes
+/// every node row bit-identically to [`SimVectors::simulate_block`] — so
+/// for any `(seed, column range)` this fills exactly the same matrix as
+/// [`random_columns_par`], for every thread count of either engine. The
+/// win is the run itself: one precompiled op sweep writing straight into
+/// the strided matrix, instead of a dense interpreter pass plus a
+/// row-by-row scatter.
+///
+/// # Panics
+/// Panics if the matrix shape does not match the program
+/// (`n_rows == prog.n_slots()`) or the column range is out of bounds.
+pub fn random_columns_prog(
+    prog: &SimProgram,
+    sigs: &mut SimVectors,
+    w0: usize,
+    n_cols: usize,
+    seed: u64,
+    threads: usize,
+) {
+    assert!(w0 + n_cols <= sigs.n_words, "column range out of bounds");
+    assert_eq!(sigs.n_rows(), prog.n_slots(), "one row per program slot");
+    let blocks: Vec<(usize, usize)> = {
+        let mut v = Vec::new();
+        let mut w = w0;
+        while w < w0 + n_cols {
+            let nb = SIM_BLOCK.min(w0 + n_cols - w);
+            v.push((w, nb));
+            w += nb;
+        }
+        v
+    };
+    let n_pis = prog.n_pis();
+    let stride = sigs.n_words;
+    let workers = if blocks.len() <= 1 {
+        1
+    } else {
+        threads.min(blocks.len())
+    };
+    let cursor = ColumnCursor(sigs.words.as_mut_ptr());
+    if workers <= 1 {
+        let mut pi_block = vec![0u64; n_pis * SIM_BLOCK];
+        for (b, &(w, nb)) in blocks.iter().enumerate() {
+            fill_pi_block(&mut pi_block[..n_pis * nb], seed, b as u64);
+            // SAFETY: single-threaded; shape asserted above.
+            unsafe { prog.run_all_raw(cursor.0, stride, w, nb, &pi_block[..n_pis * nb]) };
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let cursor = &cursor;
+            let blocks = &blocks;
+            scope.spawn(move || {
+                let mut pi_block = vec![0u64; n_pis * SIM_BLOCK];
+                let mut b = t;
+                while b < blocks.len() {
+                    let (w, nb) = blocks[b];
+                    fill_pi_block(&mut pi_block[..n_pis * nb], seed, b as u64);
+                    // SAFETY: this worker owns columns `w .. w + nb` of
+                    // every row (blocks are disjoint, dealt round-robin),
+                    // within bounds by the shape asserts above.
+                    unsafe { prog.run_all_raw(cursor.0, stride, w, nb, &pi_block[..n_pis * nb]) };
+                    b += workers;
+                }
+            });
+        }
+    });
+}
+
+/// [`simulate_columns_par`] driven by a compiled program: replays
+/// `(column, PI words)` jobs through one [`SimProgram::full`] run per
+/// job. Fills the same columns bit-identically to the interpreter
+/// version, for every thread count.
+///
+/// # Panics
+/// Panics if the matrix shape does not match the program, a column is
+/// out of range, or (with multiple threads) columns are not distinct.
+pub fn simulate_columns_prog(
+    prog: &SimProgram,
+    sigs: &mut SimVectors,
+    jobs: &[(usize, &[u64])],
+    threads: usize,
+) {
+    assert_eq!(sigs.n_rows(), prog.n_slots(), "one row per program slot");
+    for &(w, _) in jobs {
+        assert!(w < sigs.n_words, "column out of range");
+    }
+    let stride = sigs.n_words;
+    let cursor = ColumnCursor(sigs.words.as_mut_ptr());
+    if threads <= 1 || jobs.len() <= 1 {
+        for &(w, pi_words) in jobs {
+            // SAFETY: single-threaded; shape asserted above.
+            unsafe { prog.run_all_raw(cursor.0, stride, w, 1, pi_words) };
+        }
+        return;
+    }
+    for (i, &(w, _)) in jobs.iter().enumerate() {
+        // Hard assert (see `simulate_columns_par`): distinctness is the
+        // disjointness guarantee the concurrent writes rely on.
+        assert!(
+            jobs[..i].iter().all(|&(prev, _)| prev != w),
+            "replay columns must be distinct"
+        );
+    }
+    let workers = threads.min(jobs.len());
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let cursor = &cursor;
+            scope.spawn(move || {
+                let mut j = t;
+                while j < jobs.len() {
+                    let (w, pi_words) = jobs[j];
+                    // SAFETY: columns are distinct and dealt round-robin,
+                    // so each worker's writes are disjoint and in bounds
+                    // by the asserts above.
+                    unsafe { prog.run_all_raw(cursor.0, stride, w, 1, pi_words) };
+                    j += workers;
                 }
             });
         }
@@ -589,6 +756,72 @@ mod tests {
         for v in 0..g.num_nodes() {
             assert_eq!(off.row(v)[3..27], seq.row(v)[..24], "node {v}");
         }
+    }
+
+    #[test]
+    fn compiled_random_columns_match_interpreter() {
+        let g = wide_graph();
+        let prog = SimProgram::full(&g);
+        let mut interp = SimVectors::zero(g.num_nodes(), 27);
+        random_columns_par(&g, &mut interp, 0, 27, 0xFEED, 1);
+        for threads in [1, 2, 4] {
+            let mut comp = SimVectors::zero(g.num_nodes(), 27);
+            random_columns_prog(&prog, &mut comp, 0, 27, 0xFEED, threads);
+            assert_eq!(comp, interp, "threads={threads}");
+            assert_eq!(comp.checksum(), interp.checksum());
+        }
+    }
+
+    #[test]
+    fn compiled_replay_columns_match_interpreter() {
+        let g = wide_graph();
+        let prog = SimProgram::full(&g);
+        let chunks: Vec<Vec<u64>> = (0..5)
+            .map(|k| (0..g.num_pis() as u64).map(|i| i * 0xABCD + k).collect())
+            .collect();
+        let jobs: Vec<(usize, &[u64])> = chunks
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (k, c.as_slice()))
+            .collect();
+        let mut interp = SimVectors::zero(g.num_nodes(), 5);
+        simulate_columns_par(&g, &mut interp, &jobs, 1);
+        for threads in [1, 3] {
+            let mut comp = SimVectors::zero(g.num_nodes(), 5);
+            simulate_columns_prog(&prog, &mut comp, &jobs, threads);
+            assert_eq!(comp, interp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn signatures_into_routes_through_compiled_engine() {
+        // Wide fills route through the compiled engine; the matrix must
+        // be bit-identical to a pure interpreter fill of the same shape.
+        let g = wide_graph();
+        let mut routed = SimVectors::new();
+        random_signatures_into(&g, 8, 99, &mut routed);
+        let mut interp = SimVectors::zero(g.num_nodes(), 8);
+        random_columns(&g, &mut interp, 0, 8, 99);
+        assert_eq!(routed, interp);
+    }
+
+    #[test]
+    fn checksum_is_not_vacuous() {
+        let g = wide_graph();
+        let a = random_signatures(&g, 4, 1);
+        let b = random_signatures(&g, 4, 2);
+        assert_ne!(a.checksum(), b.checksum(), "different contents differ");
+        // Swapping two rows changes the checksum (order sensitivity) —
+        // the old fold-one-row scheme XORed symmetric contents to zero.
+        let mut swapped = a.clone();
+        let (r0, r1): (Vec<u64>, Vec<u64>) = (a.row(1).to_vec(), a.row(2).to_vec());
+        swapped.row_mut(1).copy_from_slice(&r1);
+        swapped.row_mut(2).copy_from_slice(&r0);
+        assert_ne!(a.checksum(), swapped.checksum(), "row order matters");
+        // And a matrix XOR-symmetric per row still yields nonzero.
+        let mut sym = SimVectors::zero(2, 2);
+        sym.row_mut(0).copy_from_slice(&[0xFF, 0xFF]);
+        assert_ne!(sym.checksum(), SimVectors::zero(2, 2).checksum());
     }
 
     #[test]

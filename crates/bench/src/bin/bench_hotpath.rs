@@ -119,7 +119,15 @@ fn main() {
         ),
     ];
 
-    // --- bit-parallel resimulation kernel, one row per thread count -----
+    // --- bit-parallel resimulation kernel -------------------------------
+    // One row per (engine, thread count): the interpreter walks the graph
+    // per block; the compiled engine runs the levelized fused-op
+    // [`aig::SimProgram`]. Both fill the same strided matrix from the
+    // same per-block RNG streams, so the whole-matrix checksum must be
+    // identical across every row — CI's perf-smoke job fails the build on
+    // any disagreement (a vacuous last-row XOR used to sit here; the
+    // checksum now mixes every word, rotated by column, so a wrong row
+    // anywhere in the matrix changes it).
     let (sim_gates, sim_words, sim_reps) = if smoke {
         (500, 16, 2)
     } else {
@@ -135,34 +143,43 @@ fn main() {
         0xC0FFEE,
     );
     struct SimRow {
+        engine: &'static str,
         threads: usize,
         wall_s: f64,
         words_simulated: u64,
         words_per_sec: f64,
         checksum: u64,
     }
+    let prog = aig::SimProgram::full(&g);
     let mut sigs = aig::sim::SimVectors::zero(g.num_nodes(), sim_words);
-    let sim_rows: Vec<SimRow> = thread_counts
-        .iter()
-        .map(|&threads| {
-            aig::sim::random_columns_par(&g, &mut sigs, 0, sim_words, 1, threads); // warm-up
+    let mut sim_rows: Vec<SimRow> = Vec::new();
+    for engine in ["interpreter", "compiled"] {
+        for &threads in &thread_counts {
+            let fill = |sigs: &mut aig::sim::SimVectors, seed: u64| match engine {
+                "interpreter" => {
+                    aig::sim::random_columns_par(&g, sigs, 0, sim_words, seed, threads)
+                }
+                _ => aig::sim::random_columns_prog(&prog, sigs, 0, sim_words, seed, threads),
+            };
+            fill(&mut sigs, 1); // warm-up
             let start = Instant::now();
             let mut checksum = 0u64;
             for rep in 0..sim_reps {
-                aig::sim::random_columns_par(&g, &mut sigs, 0, sim_words, rep as u64, threads);
-                checksum ^= sigs.row(g.num_nodes() - 1).iter().fold(0, |a, &w| a ^ w);
+                fill(&mut sigs, rep as u64);
+                checksum = checksum.rotate_left(1) ^ sigs.checksum();
             }
             let wall_s = start.elapsed().as_secs_f64();
             let words_simulated = (g.num_nodes() * sim_words * sim_reps) as u64;
-            SimRow {
+            sim_rows.push(SimRow {
+                engine,
                 threads,
                 wall_s,
                 words_simulated,
                 words_per_sec: words_simulated as f64 / wall_s.max(1e-9),
                 checksum,
-            }
-        })
-        .collect();
+            });
+        }
+    }
 
     // --- fraig (sweep) kernel ------------------------------------------
     // Two kinds of rows per miter: a sequential *trajectory* row
@@ -178,6 +195,7 @@ fn main() {
         bits: usize,
         threads: usize,
         shards: usize,
+        sim_engine: &'static str,
         wall_s: f64,
         stats: sweep::FraigStats,
         ands_out: usize,
@@ -185,10 +203,11 @@ fn main() {
     let mut fraig_rows: Vec<FraigRow> = Vec::new();
     for &bits in fraig_bits {
         let fg = adder_miter(bits);
-        let mut run = |threads: usize, shards: usize| {
+        let mut run = |threads: usize, shards: usize, compiled_sim: bool| {
             let params = FraigParams {
                 threads,
                 shards,
+                compiled_sim,
                 ..FraigParams::default()
             };
             let _ = fraig(&fg, &params); // warm-up
@@ -198,14 +217,23 @@ fn main() {
                 bits,
                 threads,
                 shards,
+                sim_engine: if compiled_sim {
+                    "compiled"
+                } else {
+                    "interpreter"
+                },
                 wall_s: start.elapsed().as_secs_f64(),
                 stats: out.stats,
                 ands_out: out.aig.num_ands(),
             });
         };
-        run(1, 1); // trajectory row
+        // Trajectory rows (threads=1, one oracle), one per sim engine —
+        // the simulation matrices are bit-identical, so the sweep stats
+        // must agree row-to-row; the wall gap is the sim engine's share.
+        run(1, 1, false);
+        run(1, 1, true);
         for &threads in &thread_counts {
-            run(threads, pinned_shards);
+            run(threads, pinned_shards, true);
         }
     }
 
@@ -304,10 +332,11 @@ fn main() {
     for (i, r) in sim_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"nodes\": {}, \"words\": {}, \"reps\": {}, \"threads\": {}, \"wall_s\": {:.6}, \"words_simulated\": {}, \"words_per_sec\": {:.0}, \"checksum\": {}}}{}",
+            "    {{\"nodes\": {}, \"words\": {}, \"reps\": {}, \"engine\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \"words_simulated\": {}, \"words_per_sec\": {:.0}, \"checksum\": {}}}{}",
             g.num_nodes(),
             sim_words,
             sim_reps,
+            r.engine,
             r.threads,
             r.wall_s,
             r.words_simulated,
@@ -321,10 +350,11 @@ fn main() {
     for (i, r) in fraig_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"bits\": {}, \"threads\": {}, \"shards\": {}, \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}}{}",
+            "    {{\"bits\": {}, \"threads\": {}, \"shards\": {}, \"sim_engine\": \"{}\", \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}}{}",
             r.bits,
             r.threads,
             r.shards,
+            r.sim_engine,
             r.wall_s,
             r.stats.sat_calls,
             r.stats.proved,
@@ -352,13 +382,22 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    // Single-thread compiled-vs-interpreter speedup: the PR 6 headline.
+    let words_1t = |engine: &str| {
+        sim_rows
+            .iter()
+            .find(|r| r.engine == engine && r.threads == thread_counts[0])
+            .map_or(0.0, |r| r.words_per_sec)
+    };
     let _ = writeln!(
         json,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}}}",
+        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}, \"compiled_words_per_sec\": {:.0}, \"compiled_speedup_1t\": {:.3}}}",
         total_solver_wall + sim_wall + fraig_wall + bmc_row.incremental_wall_s
             + bmc_row.monolithic_wall_s,
         total_props as f64 / total_solver_wall.max(1e-9),
-        sim_rows.first().map_or(0.0, |r| r.words_per_sec)
+        words_1t("interpreter"),
+        words_1t("compiled"),
+        words_1t("compiled") / words_1t("interpreter").max(1e-9)
     );
     json.push_str("}\n");
 

@@ -241,9 +241,15 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(20));
     }
     let (depth, trace) = cex.expect("non-proved path carries a counterexample");
-    // Replay the trace before reporting it.
-    let outs = machine.simulate(&trace);
-    if !outs[depth].iter().any(|&o| o) {
+    // Replay the trace word-level (compiled stepper, trace in bit 0)
+    // before reporting it.
+    let mut stepper = machine.stepper();
+    let mut fired = false;
+    for frame in &trace {
+        let pis: Vec<u64> = frame.iter().map(|&b| u64::from(b)).collect();
+        fired = stepper.step_words(&pis).iter().any(|&w| w & 1 != 0);
+    }
+    if !fired {
         return Err("internal error: trace does not reach a violation".into());
     }
     eprintln!("c counterexample at depth {depth} in {:?}", t0.elapsed());

@@ -69,8 +69,10 @@ pub struct BmcOptions {
 pub enum BmcResult {
     /// The property fires at frame `depth`; `trace` is the frame-major
     /// input trace (one vector of real-PI values per frame `0..=depth`),
-    /// replayable by [`SeqAig::simulate`]. The depth is minimal: every
-    /// earlier frame was proved clean first.
+    /// replayable by [`SeqAig::simulate`] or, word-level, by
+    /// [`SeqAig::stepper`]. The depth is minimal: every earlier frame was
+    /// proved clean first. The engine itself re-verifies every trace
+    /// against the compiled stepper before returning it (debug builds).
     Cex {
         /// First frame at which a real PO fires.
         depth: usize,
@@ -240,6 +242,11 @@ impl BmcEngine {
         match self.enc.solver.solve_with_assumptions(&[query.act]) {
             SolveResult::Sat(model) => {
                 let trace = self.decode_trace(&model, query.frame);
+                debug_assert!(
+                    self.replay_fires(&trace, query.frame),
+                    "decoded trace must replay to a violation at frame {}",
+                    query.frame
+                );
                 self.cex = Some((query.frame, trace.clone()));
                 Some(BmcResult::Cex {
                     depth: query.frame,
@@ -282,6 +289,10 @@ impl BmcEngine {
                 // The frame fires for *every* input assignment: any trace
                 // is a witness.
                 let trace = vec![vec![false; self.seq.num_pis()]; t + 1];
+                debug_assert!(
+                    self.replay_fires(&trace, t),
+                    "constant-true frame must replay to a violation at frame {t}"
+                );
                 self.cex = Some((t, trace.clone()));
                 Err(Some(BmcResult::Cex { depth: t, trace }))
             }
@@ -291,6 +302,26 @@ impl BmcEngine {
                 Ok(PendingQuery { frame: t, act, bad })
             }
         }
+    }
+
+    /// Word-level replay of a frame-major trace on the (preprocessed)
+    /// machine through the compiled sequential stepper
+    /// ([`SeqAig::stepper`]): true iff a real PO fires at frame `depth`
+    /// and at no earlier frame (the engine's depths are minimal, so a
+    /// decoded trace may never fire early).
+    fn replay_fires(&self, trace: &[Vec<bool>], depth: usize) -> bool {
+        let mut stepper = self.seq.stepper();
+        let mut fires_at_depth = false;
+        for (t, frame) in trace.iter().enumerate() {
+            let pis: Vec<u64> = frame.iter().map(|&b| u64::from(b)).collect();
+            let fires = stepper.step_words(&pis).iter().any(|&w| w & 1 != 0);
+            match t.cmp(&depth) {
+                std::cmp::Ordering::Less if fires => return false,
+                std::cmp::Ordering::Equal => fires_at_depth = fires,
+                _ => {}
+            }
+        }
+        fires_at_depth
     }
 
     /// Frame-major input trace for frames `0..=depth` from a solver model.
@@ -328,6 +359,13 @@ mod tests {
                 let outs = m.simulate(&trace);
                 assert!(outs[depth][0], "trace must replay to a violation");
                 assert!(outs[..depth].iter().all(|o| !o[0]), "depth is minimal");
+                // Word-level replay through the compiled stepper agrees.
+                let mut stepper = m.stepper();
+                for (t, frame) in trace.iter().enumerate() {
+                    let pis: Vec<u64> = frame.iter().map(|&b| u64::from(b)).collect();
+                    let fires = stepper.step_words(&pis)[0] & 1 != 0;
+                    assert_eq!(fires, t == depth, "stepper replay at frame {t}");
+                }
             }
             other => panic!("expected counterexample, got {other:?}"),
         }

@@ -11,8 +11,11 @@
 
 use crate::classes::candidate_classes;
 use crate::pool::{resolve_threads, run_sharded};
-use aig::sim::{random_columns_par, simulate_columns_par, SimVectors};
-use aig::{Aig, Lit, Var};
+use aig::sim::{
+    random_columns_par, random_columns_prog, simulate_columns_par, simulate_columns_prog,
+    SimVectors,
+};
+use aig::{Aig, Lit, SimProgram, Var};
 use cnf::{tseitin, CnfLit, VarMap};
 use sat::{Budget, SolveResult, Solver, SolverConfig};
 
@@ -61,6 +64,17 @@ pub struct FraigParams {
     /// `threads: 1` classic path stays bit-identical whatever this is set
     /// to. Default `false`.
     pub warm_start: bool,
+    /// Drive per-round resimulation through the compiled engine
+    /// ([`aig::SimProgram`]): the graph is lowered once per sweep into
+    /// flat fused-op bytecode and every random/replay column runs through
+    /// it, instead of the interpretive node-array walk. The compiled
+    /// full-mode program writes the signature matrix bit-identically to
+    /// the interpreter (same per-block RNG streams, same rows), so the
+    /// sweep's outcome — classes, queries, merges, stats — is unchanged;
+    /// only the resimulation throughput differs. The interpreter path is
+    /// kept as a differential oracle (`compiled_sim: false`, exercised by
+    /// CI). Default `true`.
+    pub compiled_sim: bool,
 }
 
 impl Default for FraigParams {
@@ -74,6 +88,7 @@ impl Default for FraigParams {
             threads: 0,
             shards: 0,
             warm_start: false,
+            compiled_sim: true,
         }
     }
 }
@@ -176,9 +191,20 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     // One signature matrix reused across rounds (buffer grows by one
     // refinement column per round, never reallocates from scratch).
     let mut sigs = SimVectors::new();
+    // The sweep never mutates the graph mid-run, so the compiled program
+    // is built once and reused by every round's resimulation.
+    let prog = params.compiled_sim.then(|| SimProgram::full(aig));
     for round in 0..params.max_rounds {
         stats.rounds = round + 1;
-        simulate_round(aig, params, round, &cex_chunks, &mut sigs, threads);
+        simulate_round(
+            aig,
+            params,
+            round,
+            &cex_chunks,
+            &mut sigs,
+            threads,
+            prog.as_ref(),
+        );
 
         // Candidates: constant node + reachable, not-yet-merged PIs/ANDs.
         let members =
@@ -450,6 +476,11 @@ fn rebuild(aig: &Aig, equiv: &[Option<Lit>]) -> Aig {
 /// through the blocked path and the replayed chunks through the dense
 /// column path, both split across `threads` workers (the strided layout
 /// makes per-column writes disjoint).
+///
+/// When a compiled program is supplied ([`FraigParams::compiled_sim`]),
+/// both producers run the precompiled bytecode instead of the interpreter;
+/// the matrix is bit-identical either way (same block streams, full-mode
+/// program materialises every node row exactly as the interpreter does).
 fn simulate_round(
     aig: &Aig,
     params: &FraigParams,
@@ -457,23 +488,26 @@ fn simulate_round(
     cex_chunks: &[Vec<u64>],
     sigs: &mut SimVectors,
     threads: usize,
+    prog: Option<&SimProgram>,
 ) {
     // Reshape without zeroing: every column below is fully written.
     sigs.reshape(aig.num_nodes(), params.sim_words + cex_chunks.len());
-    random_columns_par(
-        aig,
-        sigs,
-        0,
-        params.sim_words,
-        params.seed ^ round as u64,
-        threads,
-    );
+    let seed = params.seed ^ round as u64;
     let jobs: Vec<(usize, &[u64])> = cex_chunks
         .iter()
         .enumerate()
         .map(|(k, chunk)| (params.sim_words + k, chunk.as_slice()))
         .collect();
-    simulate_columns_par(aig, sigs, &jobs, threads);
+    match prog {
+        Some(prog) => {
+            random_columns_prog(prog, sigs, 0, params.sim_words, seed, threads);
+            simulate_columns_prog(prog, sigs, &jobs, threads);
+        }
+        None => {
+            random_columns_par(aig, sigs, 0, params.sim_words, seed, threads);
+            simulate_columns_par(aig, sigs, &jobs, threads);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +777,42 @@ mod tests {
             outcomes[0].stats.disproved > 0,
             "near-equal pairs must split"
         );
+    }
+
+    #[test]
+    fn compiled_sim_engine_does_not_change_the_outcome() {
+        // The compiled full-mode program fills the signature matrix
+        // bit-identically to the interpreter, so the whole sweep —
+        // classes, query order, counterexamples, merges — must be
+        // bit-identical with the engine on or off.
+        let g = equivalence_miter(5);
+        for (threads, sim_words) in [(1usize, 17usize), (4, 17), (1, 1)] {
+            let base = FraigParams {
+                threads,
+                shards: 2,
+                sim_words,
+                ..FraigParams::default()
+            };
+            let compiled = fraig(
+                &g,
+                &FraigParams {
+                    compiled_sim: true,
+                    ..base
+                },
+            );
+            let interp = fraig(
+                &g,
+                &FraigParams {
+                    compiled_sim: false,
+                    ..base
+                },
+            );
+            assert_eq!(
+                compiled.stats, interp.stats,
+                "threads={threads} sim_words={sim_words}"
+            );
+            assert!(same_aig(&compiled.aig, &interp.aig));
+        }
     }
 
     #[test]

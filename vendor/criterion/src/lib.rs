@@ -1,0 +1,204 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion) 0.5.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset of the criterion harness API the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId::new`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — with plain
+//! mean-wall-clock timing and no statistical analysis. Each bench prints
+//! one `label  mean ms/iter (n=..)` line. `CRITERION_SAMPLES` overrides
+//! the per-bench iteration count.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark label, optionally parameterised (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs the closure under timing; handed to bench bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock per iteration, filled in by [`Bencher::iter`].
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (one warm-up first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / self.samples.max(1) as f64;
+    }
+}
+
+/// A named group of benches sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench iteration count (`CRITERION_SAMPLES` overrides).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("CRITERION_SAMPLES").is_err() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Times `f` and prints one `group/label  mean ms/iter (n=..)` line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}  {:.3} ms/iter (n={})",
+            self.name,
+            id.label,
+            b.mean_s * 1e3,
+            self.samples
+        );
+        self
+    }
+
+    /// [`BenchmarkGroup::bench_function`] with an explicit input borrow.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; results were printed as they ran).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Default iteration count unless `CRITERION_SAMPLES` or
+    /// [`BenchmarkGroup::sample_size`] says otherwise.
+    fn default_samples() -> usize {
+        std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+            .max(1)
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: Self::default_samples(),
+            _c: self,
+        }
+    }
+
+    /// A one-off bench outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = Self::default_samples();
+        let mut b = Bencher {
+            samples,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        println!("{}  {:.3} ms/iter (n={})", id.label, b.mean_s * 1e3, samples);
+        self
+    }
+}
+
+/// Declares a bench group function, criterion-0.5 style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's bench targets in order.
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness args (e.g. `--bench` from `cargo bench`) are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_bench_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &3usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // One warm-up + `samples` timed runs.
+        assert_eq!(runs, 3);
+    }
+}
