@@ -54,6 +54,21 @@ fn malformed(msg: impl Into<String>) -> ParseAigerError {
     ParseAigerError::Malformed(msg.into())
 }
 
+/// Plausibility cap on the header's maximum variable index `M`. The
+/// variable map is sized from `M`, so an adversarial header (`aag
+/// 4000000000 ...` in a ten-byte file) must not translate into a
+/// multi-gigabyte allocation or an overflowing index computation. 2^26
+/// variables is far beyond every benchmark family in this workspace while
+/// keeping the worst-case map at a few hundred megabytes.
+const MAX_HEADER_VARS: u32 = 1 << 26;
+
+/// Bounds an eager `Vec::with_capacity` reservation taken from an
+/// untrusted header count: the vector still grows to the real size on
+/// demand, but a lying header can no longer pre-allocate gigabytes.
+fn cap_hint(declared: u32) -> usize {
+    declared.min(1 << 16) as usize
+}
+
 /// Reads an ASCII AIGER (`aag`) file.
 ///
 /// # Errors
@@ -100,11 +115,26 @@ fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag
     if nums.len() < 5 {
         return Err(malformed("header needs five fields M I L O A"));
     }
+    if nums.len() > 5 {
+        return Err(malformed(
+            "extended header fields (B C J F sections) are not supported",
+        ));
+    }
     let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
     if l != 0 && !allow_latches {
         return Err(ParseAigerError::Sequential);
     }
-    if m < i + l + a {
+    if m > MAX_HEADER_VARS {
+        return Err(malformed(format!(
+            "header M = {m} exceeds the supported maximum {MAX_HEADER_VARS}"
+        )));
+    }
+    // Checked: `I + L + A` near u32::MAX must be an error, not a wrap.
+    let declared = i
+        .checked_add(l)
+        .and_then(|x| x.checked_add(a))
+        .ok_or_else(|| malformed("header counts I + L + A overflow"))?;
+    if m < declared {
         return Err(malformed("M smaller than I + L + A"));
     }
 
@@ -116,12 +146,14 @@ fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag
             .map_err(ParseAigerError::Io)
     };
 
-    // AIGER var -> our literal.
-    let mut map: Vec<Option<Lit>> = vec![None; m as usize + 1];
+    // AIGER var -> our literal. Grown lazily towards `m + 1` as variables
+    // are defined, so memory tracks the definitions actually present in
+    // the file rather than the header's claim.
+    let mut map: Vec<Option<Lit>> = vec![None; (m as usize + 1).min(4096)];
     map[0] = Some(Lit::FALSE);
-    let mut g = Aig::with_capacity(m as usize + 1);
+    let mut g = Aig::with_capacity(cap_hint(m) + 1);
 
-    let mut pi_vars = Vec::with_capacity(i as usize);
+    let mut pi_vars = Vec::with_capacity(cap_hint(i));
     for _ in 0..i {
         let line = next_line()?;
         let lit: u32 = line
@@ -137,7 +169,7 @@ fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag
     // Latch lines: `current next [init]`. The current-state literal defines
     // a variable (a core PI after the real inputs); the next-state literal
     // is resolved after the AND section like an output.
-    let mut latch_next = Vec::with_capacity(l as usize);
+    let mut latch_next = Vec::with_capacity(cap_hint(l));
     for _ in 0..l {
         let line = next_line()?;
         let mut it = line.split_whitespace();
@@ -165,16 +197,22 @@ fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag
     }
     for &v in &pi_vars {
         // `v <= m` is a header promise, not a fact about the body.
-        let slot = map
-            .get_mut(v as usize)
-            .ok_or_else(|| malformed(format!("variable {v} exceeds the header maximum")))?;
+        if v > m {
+            return Err(malformed(format!(
+                "variable {v} exceeds the header maximum"
+            )));
+        }
+        if v as usize >= map.len() {
+            map.resize(v as usize + 1, None);
+        }
+        let slot = &mut map[v as usize];
         if slot.is_some() {
             return Err(malformed("duplicate variable definition"));
         }
         *slot = Some(g.add_pi());
     }
 
-    let mut po_lits = Vec::with_capacity(o as usize);
+    let mut po_lits = Vec::with_capacity(cap_hint(o));
     for _ in 0..o {
         let line = next_line()?;
         let lit: u32 = line
@@ -201,7 +239,13 @@ fn parse_aag<R: BufRead>(mut reader: R, allow_latches: bool) -> Result<ParsedAag
             return Err(malformed("and lhs must be positive and even"));
         }
         let v = lhs / 2;
-        if v as usize >= map.len() || map[v as usize].is_some() {
+        if v > m {
+            return Err(malformed("and lhs redefined or out of range"));
+        }
+        if v as usize >= map.len() {
+            map.resize(v as usize + 1, None);
+        }
+        if map[v as usize].is_some() {
             return Err(malformed("and lhs redefined or out of range"));
         }
         let lookup = |raw: u32, map: &[Option<Lit>]| -> Result<Lit, ParseAigerError> {
@@ -370,14 +414,24 @@ pub fn read_aig_binary<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError
     if nums.len() < 5 {
         return Err(malformed("header needs five fields M I L O A"));
     }
+    if nums.len() > 5 {
+        return Err(malformed(
+            "extended header fields (B C J F sections) are not supported",
+        ));
+    }
     let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
     if l != 0 {
         return Err(ParseAigerError::Sequential);
     }
-    if m != i + a {
+    if m > MAX_HEADER_VARS {
+        return Err(malformed(format!(
+            "header M = {m} exceeds the supported maximum {MAX_HEADER_VARS}"
+        )));
+    }
+    if i.checked_add(a) != Some(m) {
         return Err(malformed("binary aiger requires M = I + A"));
     }
-    let mut po_lits = Vec::with_capacity(o as usize);
+    let mut po_lits = Vec::with_capacity(cap_hint(o));
     for _ in 0..o {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -387,8 +441,8 @@ pub fn read_aig_binary<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError
                 .map_err(|_| malformed("bad output literal"))?,
         );
     }
-    let mut g = Aig::with_capacity(m as usize + 1);
-    let mut map: Vec<Lit> = Vec::with_capacity(m as usize + 1);
+    let mut g = Aig::with_capacity(cap_hint(m) + 1);
+    let mut map: Vec<Lit> = Vec::with_capacity(cap_hint(m) + 1);
     map.push(Lit::FALSE);
     for _ in 0..i {
         map.push(g.add_pi());

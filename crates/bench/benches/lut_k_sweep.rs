@@ -31,7 +31,7 @@ fn bench_lut_k(c: &mut Criterion) {
                 for inst in &slice {
                     let net = map_luts(&inst.aig, &params, &BranchingCost::new());
                     let (f, _) = lut_to_cnf_sat_instance(&net);
-                    let (_, stats) = solve_cnf(&f, solver.clone(), budget);
+                    let (_, stats) = solve_cnf(&f, solver.clone(), budget.clone());
                     decisions += stats.decisions;
                 }
                 decisions

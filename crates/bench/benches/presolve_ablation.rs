@@ -38,7 +38,7 @@ fn bench_presolve(c: &mut Criterion) {
             b.iter(|| {
                 let mut decisions = 0u64;
                 for f in &cnfs {
-                    let (_, stats) = solve_cnf(f, solver.clone(), budget);
+                    let (_, stats) = solve_cnf(f, solver.clone(), budget.clone());
                     decisions += stats.decisions;
                 }
                 decisions
@@ -48,8 +48,12 @@ fn bench_presolve(c: &mut Criterion) {
             b.iter(|| {
                 let mut decisions = 0u64;
                 for f in &cnfs {
-                    let (_, stats) =
-                        solve_cnf_presolved(f, solver.clone(), budget, &PresolveConfig::default());
+                    let (_, stats) = solve_cnf_presolved(
+                        f,
+                        solver.clone(),
+                        budget.clone(),
+                        &PresolveConfig::default(),
+                    );
                     decisions += stats.decisions;
                 }
                 decisions

@@ -46,7 +46,7 @@ fn bench_sweep(c: &mut Criterion) {
                 let mut decisions = 0u64;
                 for inst in &slice {
                     let pre = p.preprocess(&inst.aig);
-                    let (_, stats) = solve_cnf(&pre.cnf, solver.clone(), budget);
+                    let (_, stats) = solve_cnf(&pre.cnf, solver.clone(), budget.clone());
                     decisions += stats.decisions;
                 }
                 decisions

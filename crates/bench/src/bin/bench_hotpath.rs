@@ -35,6 +35,8 @@ struct SolverRow {
     propagations: u64,
     conflicts: u64,
     props_per_sec: f64,
+    deadline_interrupts: u64,
+    cancellations: u64,
 }
 
 fn time_solver(name: &'static str, f: &Cnf, cfg: SolverConfig, reps: usize) -> SolverRow {
@@ -43,10 +45,14 @@ fn time_solver(name: &'static str, f: &Cnf, cfg: SolverConfig, reps: usize) -> S
     let start = Instant::now();
     let mut propagations = 0u64;
     let mut conflicts = 0u64;
+    let mut deadline_interrupts = 0u64;
+    let mut cancellations = 0u64;
     for _ in 0..reps {
         let (_, stats) = solve_cnf(f, cfg.clone(), Budget::conflicts(2_000_000));
         propagations += stats.propagations;
         conflicts += stats.conflicts;
+        deadline_interrupts += stats.deadline_interrupts;
+        cancellations += stats.cancellations;
     }
     let wall_s = start.elapsed().as_secs_f64();
     SolverRow {
@@ -55,6 +61,8 @@ fn time_solver(name: &'static str, f: &Cnf, cfg: SolverConfig, reps: usize) -> S
         propagations,
         conflicts,
         props_per_sec: propagations as f64 / wall_s.max(1e-9),
+        deadline_interrupts,
+        cancellations,
     }
 }
 
@@ -318,12 +326,14 @@ fn main() {
     for (i, r) in solver_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"propagations\": {}, \"conflicts\": {}, \"props_per_sec\": {:.0}}}{}",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"propagations\": {}, \"conflicts\": {}, \"props_per_sec\": {:.0}, \"deadline_interrupts\": {}, \"cancellations\": {}}}{}",
             r.name,
             r.wall_s,
             r.propagations,
             r.conflicts,
             r.props_per_sec,
+            r.deadline_interrupts,
+            r.cancellations,
             if i + 1 < solver_rows.len() { "," } else { "" }
         );
     }
@@ -350,7 +360,7 @@ fn main() {
     for (i, r) in fraig_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"bits\": {}, \"threads\": {}, \"shards\": {}, \"sim_engine\": \"{}\", \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}}}{}",
+            "    {{\"bits\": {}, \"threads\": {}, \"shards\": {}, \"sim_engine\": \"{}\", \"wall_s\": {:.6}, \"sat_calls\": {}, \"proved\": {}, \"disproved\": {}, \"rounds\": {}, \"ands_out\": {}, \"deadline_interrupts\": {}, \"shard_failures\": {}}}{}",
             r.bits,
             r.threads,
             r.shards,
@@ -361,6 +371,8 @@ fn main() {
             r.stats.disproved,
             r.stats.rounds,
             r.ands_out,
+            r.stats.deadline_interrupts,
+            r.stats.shard_failures,
             if i + 1 < fraig_rows.len() { "," } else { "" }
         );
     }
@@ -389,15 +401,28 @@ fn main() {
             .find(|r| r.engine == engine && r.threads == thread_counts[0])
             .map_or(0.0, |r| r.words_per_sec)
     };
+    // Failure telemetry: a healthy, unthrottled bench run reports zeros
+    // here; anything else means the run was degraded and its perf rows
+    // should not be compared against clean baselines.
+    let total_deadline_interrupts: u64 = solver_rows
+        .iter()
+        .map(|r| r.deadline_interrupts)
+        .chain(fraig_rows.iter().map(|r| r.stats.deadline_interrupts))
+        .sum();
+    let total_cancellations: u64 = solver_rows.iter().map(|r| r.cancellations).sum();
+    let total_shard_failures: u64 = fraig_rows.iter().map(|r| r.stats.shard_failures).sum();
     let _ = writeln!(
         json,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}, \"compiled_words_per_sec\": {:.0}, \"compiled_speedup_1t\": {:.3}}}",
+        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}, \"compiled_words_per_sec\": {:.0}, \"compiled_speedup_1t\": {:.3}, \"deadline_interrupts\": {}, \"cancellations\": {}, \"shard_failures\": {}}}",
         total_solver_wall + sim_wall + fraig_wall + bmc_row.incremental_wall_s
             + bmc_row.monolithic_wall_s,
         total_props as f64 / total_solver_wall.max(1e-9),
         words_1t("interpreter"),
         words_1t("compiled"),
-        words_1t("compiled") / words_1t("interpreter").max(1e-9)
+        words_1t("compiled") / words_1t("interpreter").max(1e-9),
+        total_deadline_interrupts,
+        total_cancellations,
+        total_shard_failures
     );
     json.push_str("}\n");
 

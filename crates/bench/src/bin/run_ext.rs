@@ -57,7 +57,7 @@ fn main() {
         for (name, p) in &arms {
             let mut report = ArmReport::default();
             for inst in &instances {
-                measure(p.as_ref(), inst, &solver, budget, &mut report);
+                measure(p.as_ref(), inst, &solver, &budget, &mut report);
             }
             println!(
                 "{:<12} {:>7} {:>14.2} {:>12} | {:>14.2} {:>12}",
@@ -86,7 +86,7 @@ fn measure(
     p: &dyn Pipeline,
     inst: &Instance,
     solver: &sat::SolverConfig,
-    budget: sat::Budget,
+    budget: &sat::Budget,
     report: &mut ArmReport,
 ) {
     let t0 = Instant::now();
@@ -94,7 +94,7 @@ fn measure(
     let preprocess = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let (res, stats) = solve_cnf(&pre.cnf, solver.clone(), budget);
+    let (res, stats) = solve_cnf(&pre.cnf, solver.clone(), budget.clone());
     report.plain_secs += preprocess + t0.elapsed().as_secs_f64();
     report.plain_decisions += stats.decisions;
     if let (Some(expected), false) = (inst.expected, matches!(res, sat::SolveResult::Unknown)) {
@@ -111,8 +111,12 @@ fn measure(
     }
 
     let t0 = Instant::now();
-    let (res2, stats2) =
-        solve_cnf_presolved(&pre.cnf, solver.clone(), budget, &PresolveConfig::default());
+    let (res2, stats2) = solve_cnf_presolved(
+        &pre.cnf,
+        solver.clone(),
+        budget.clone(),
+        &PresolveConfig::default(),
+    );
     report.presolved_secs += preprocess + t0.elapsed().as_secs_f64();
     report.presolved_decisions += stats2.decisions;
     if let (Some(expected), false) = (inst.expected, matches!(res2, sat::SolveResult::Unknown)) {

@@ -285,7 +285,7 @@ pub fn fig4(scale: &Scale, solver_name: &str, agent: Option<DqnAgent>) -> Vec<Ar
         .iter()
         .map(|p| Arm {
             name: p.name(),
-            records: run_campaign(p.as_ref(), &test, solver_name, &solver, budget),
+            records: run_campaign(p.as_ref(), &test, solver_name, &solver, budget.clone()),
         })
         .collect()
 }
@@ -309,7 +309,7 @@ pub fn fig5(scale: &Scale, agent: Option<DqnAgent>) -> Vec<Arm> {
         .iter()
         .map(|p| Arm {
             name: p.name(),
-            records: run_campaign(p.as_ref(), &test, "kissat", &solver, budget),
+            records: run_campaign(p.as_ref(), &test, "kissat", &solver, budget.clone()),
         })
         .collect()
 }

@@ -6,35 +6,61 @@
 //!
 //! ```text
 //! csat solve   <file.aag|file.aig> [--pipeline baseline|comp|ours] [--recipe "rs;rw"]
-//!              [--solver kissat|cadical] [--conflicts N]
+//!              [--solver kissat|cadical] [--conflicts N] [--timeout-ms N]
 //! csat encode  <file.aag|file.aig> [--pipeline ...] [-o out.cnf]
 //! csat stats   <file.aag|file.aig>
+//! csat fraig   <file.aag|file.aig> [--timeout-ms N] [-o out.aag]
 //! csat bmc     <file.aag> [--bound K] [--kind] [--preprocess none|synth|sweep|both]
+//! csat gen     php <holes> [-o out.aag]
 //! ```
 //!
 //! `bmc` reads a *sequential* AIGER file (latches allowed, real POs are
 //! the bad signals) and runs the incremental `mc` engines: bounded model
 //! checking up to `--bound`, or k-induction with `--kind`.
+//!
+//! ## Exit codes
+//!
+//! `10` satisfiable / counterexample, `20` unsatisfiable / proved, `0`
+//! run completed without a verdict (e.g. BMC clean within its bound),
+//! `30` resources exhausted (conflict budget or `--timeout-ms` deadline),
+//! `2` usage or input error. Every `solve`/`fraig`/`bmc` run emits one
+//! machine-readable `c resource-report ...` line on stderr.
 
 use csat_preproc::{BaselinePipeline, CompPipeline, FrameworkPipeline, Pipeline};
 use rl::RecipePolicy;
 use sat::{solve_cnf, Budget, SolverConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 use synth::Recipe;
 
-const USAGE: &str = "usage: csat <solve|encode|stats|bmc> <instance.aag|instance.aig> [options]
+const USAGE: &str =
+    "usage: csat <solve|encode|stats|fraig|bmc|gen> <instance.aag|instance.aig> [options]
   --pipeline baseline|comp|ours   (default ours)
   --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)
   --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)
   --presolve                       run CNF presolve (BVE+subsumption) before solving
   --solver   kissat|cadical        (default kissat)
   --conflicts N                    conflict budget (default unlimited)
-  -o FILE                          output path for 'encode'
+  --timeout-ms N                   wall-clock deadline; exhaustion exits 30
+  -o FILE                          output path for 'encode'/'fraig'/'gen'
 bmc options (sequential .aag input, real POs = bad signals):
   --bound K                        frames to check / max induction strength (default 20)
   --kind                           prove by k-induction instead of plain BMC
-  --preprocess none|synth|sweep|both  one-time transition-relation preprocessing";
+  --preprocess none|synth|sweep|both  one-time transition-relation preprocessing
+gen families:
+  php <holes>                      pigeonhole circuit PHP(holes+1, holes), UNSAT
+exit codes: 10 sat/cex, 20 unsat/proved, 0 inconclusive-but-complete,
+            30 budget or deadline exhausted, 2 usage error";
+
+/// Exit code for satisfiable instances / counterexamples found.
+const EXIT_SAT: u8 = 10;
+/// Exit code for unsatisfiable instances / proved properties.
+const EXIT_UNSAT: u8 = 20;
+/// Exit code when a conflict budget or wall-clock deadline ran out.
+const EXIT_RESOURCE: u8 = 30;
+/// Exit code for usage errors (bad flags, unreadable input, ...).
+const EXIT_USAGE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,21 +74,30 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
+    if cmd == "gen" {
+        return run_gen(args);
+    }
     let path = args.get(1).ok_or("missing instance path")?;
     if cmd == "bmc" {
+        check_flags(
+            &args[2..],
+            &["--bound", "--conflicts", "--timeout-ms", "--preprocess"],
+            &["--kind"],
+        )?;
         return run_bmc(path, args);
     }
-    let instance = load(path)?;
 
     match cmd.as_str() {
         "stats" => {
+            check_flags(&args[2..], &[], &[])?;
+            let instance = load(path)?;
             println!(
                 "pis={} pos={} ands={} depth={}",
                 instance.num_pis(),
@@ -73,10 +108,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "encode" => {
-            let pipeline = make_pipeline(args)?;
+            check_flags(&args[2..], &["--pipeline", "--recipe", "-o"], &["--sweep"])?;
+            let instance = load(path)?;
+            let pipeline = make_pipeline(args, None)?;
             let pre = pipeline.preprocess(&instance);
             let text = cnf::dimacs::to_dimacs_string(&pre.cnf);
-            match flag(args, "-o") {
+            match value_of(args, "-o")? {
                 Some(out) => std::fs::write(&out, text).map_err(|e| e.to_string())?,
                 None => print!("{text}"),
             }
@@ -90,67 +127,190 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             );
             Ok(ExitCode::SUCCESS)
         }
+        "fraig" => {
+            check_flags(&args[2..], &["--timeout-ms", "-o"], &[])?;
+            run_fraig(path, args)
+        }
         "solve" => {
-            let pipeline = make_pipeline(args)?;
-            let solver = match flag(args, "--solver").as_deref() {
-                None | Some("kissat") => SolverConfig::kissat_like(),
-                Some("cadical") => SolverConfig::cadical_like(),
-                Some(other) => return Err(format!("unknown solver '{other}'")),
-            };
-            let budget = match flag(args, "--conflicts") {
-                Some(n) => Budget::conflicts(n.parse().map_err(|_| "bad conflict budget")?),
-                None => Budget::UNLIMITED,
-            };
-            let pre = pipeline.preprocess(&instance);
-            let t0 = std::time::Instant::now();
-            let (res, stats) = if args.iter().any(|a| a == "--presolve") {
-                sat::presolve::solve_cnf_presolved(
-                    &pre.cnf,
-                    solver,
-                    budget,
-                    &sat::presolve::PresolveConfig::default(),
-                )
-            } else {
-                solve_cnf(&pre.cnf, solver, budget)
-            };
-            let dt = t0.elapsed();
-            eprintln!(
-                "c {}: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
-                pipeline.name(),
-                pre.cnf.num_vars(),
-                pre.cnf.num_clauses(),
-                stats.decisions,
-                stats.conflicts
-            );
-            match res {
-                sat::SolveResult::Sat(model) => {
-                    let ins = pre.decoder.decode_inputs(&model);
-                    // SAT-competition-style output plus the PI witness.
-                    println!("s SATISFIABLE");
-                    let bits: Vec<String> = ins
-                        .iter()
-                        .map(|&b| if b { "1".into() } else { "0".to_string() })
-                        .collect();
-                    println!("v inputs {}", bits.join(""));
-                    // Double-check the witness before reporting success.
-                    if instance.eval(&ins).iter().any(|&o| o) {
-                        Ok(ExitCode::from(10))
-                    } else {
-                        Err("internal error: model does not satisfy the instance".into())
-                    }
-                }
-                sat::SolveResult::Unsat => {
-                    println!("s UNSATISFIABLE");
-                    Ok(ExitCode::from(20))
-                }
-                sat::SolveResult::Unknown => {
-                    println!("s UNKNOWN");
-                    Ok(ExitCode::SUCCESS)
-                }
-            }
+            check_flags(
+                &args[2..],
+                &[
+                    "--pipeline",
+                    "--recipe",
+                    "--solver",
+                    "--conflicts",
+                    "--timeout-ms",
+                ],
+                &["--sweep", "--presolve"],
+            )?;
+            run_solve(path, args)
         }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `csat solve`: preprocess and solve one combinational instance.
+fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    let instance = load(path)?;
+    let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let pipeline = make_pipeline(args, deadline)?;
+    let solver = match value_of(args, "--solver")?.as_deref() {
+        None | Some("kissat") => SolverConfig::kissat_like(),
+        Some("cadical") => SolverConfig::cadical_like(),
+        Some(other) => return Err(format!("unknown solver '{other}'")),
+    };
+    let budget = Budget {
+        conflicts: parsed(args, "--conflicts")?,
+        ..Budget::UNLIMITED
+    }
+    .with_deadline(deadline);
+    let t0 = Instant::now();
+    let pre = pipeline.preprocess(&instance);
+    let (res, stats) = if args.iter().any(|a| a == "--presolve") {
+        sat::presolve::solve_cnf_presolved(
+            &pre.cnf,
+            solver,
+            budget,
+            &sat::presolve::PresolveConfig::default(),
+        )
+    } else {
+        solve_cnf(&pre.cnf, solver, budget)
+    };
+    let dt = t0.elapsed();
+    eprintln!(
+        "c {}: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
+        pipeline.name(),
+        pre.cnf.num_vars(),
+        pre.cnf.num_clauses(),
+        stats.decisions,
+        stats.conflicts
+    );
+    let status = match res {
+        sat::SolveResult::Sat(_) => "sat",
+        sat::SolveResult::Unsat => "unsat",
+        sat::SolveResult::Unknown => "unknown",
+    };
+    resource_report(
+        "solve",
+        status,
+        dt,
+        timeout_ms,
+        &[
+            ("conflicts", stats.conflicts),
+            ("deadline_interrupts", stats.deadline_interrupts),
+            ("cancellations", stats.cancellations),
+        ],
+    );
+    match res {
+        sat::SolveResult::Sat(model) => {
+            let ins = pre.decoder.decode_inputs(&model);
+            // SAT-competition-style output plus the PI witness.
+            println!("s SATISFIABLE");
+            let bits: Vec<String> = ins
+                .iter()
+                .map(|&b| if b { "1".into() } else { "0".to_string() })
+                .collect();
+            println!("v inputs {}", bits.join(""));
+            // Double-check the witness before reporting success.
+            if instance.eval(&ins).iter().any(|&o| o) {
+                Ok(ExitCode::from(EXIT_SAT))
+            } else {
+                Err("internal error: model does not satisfy the instance".into())
+            }
+        }
+        sat::SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            Ok(ExitCode::from(EXIT_UNSAT))
+        }
+        sat::SolveResult::Unknown => {
+            // CDCL is complete: Unknown only ever means a budget or
+            // deadline fired, so it gets the resource exit code.
+            println!("s UNKNOWN");
+            Ok(ExitCode::from(EXIT_RESOURCE))
+        }
+    }
+}
+
+/// `csat fraig`: SAT-sweep one combinational instance.
+fn run_fraig(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    let instance = load(path)?;
+    let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
+    let params = sweep::FraigParams {
+        deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        ..sweep::FraigParams::default()
+    };
+    let t0 = Instant::now();
+    let outcome = sweep::fraig(&instance, &params);
+    let dt = t0.elapsed();
+    let s = &outcome.stats;
+    eprintln!(
+        "c fraig: ands {} -> {} rounds={} proved={} disproved={} unknown={}",
+        instance.num_ands(),
+        outcome.aig.num_ands(),
+        s.rounds,
+        s.proved,
+        s.disproved,
+        s.unknown
+    );
+    let timed_out = s.deadline_interrupts > 0;
+    resource_report(
+        "fraig",
+        if timed_out { "timeout" } else { "done" },
+        dt,
+        timeout_ms,
+        &[
+            ("sat_calls", s.sat_calls),
+            ("deadline_interrupts", s.deadline_interrupts),
+            ("shard_failures", s.shard_failures),
+        ],
+    );
+    if let Some(out) = value_of(args, "-o")? {
+        let file = std::fs::File::create(&out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        aig::aiger::write_aag(&outcome.aig, file).map_err(|e| e.to_string())?;
+    }
+    Ok(if timed_out {
+        ExitCode::from(EXIT_RESOURCE)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `csat gen`: write a generated workload as ASCII AIGER.
+fn run_gen(args: &[String]) -> Result<ExitCode, String> {
+    let family = args.get(1).ok_or("gen: missing family (try 'php')")?;
+    let aig = match family.as_str() {
+        "php" => {
+            let holes: u32 = args
+                .get(2)
+                .ok_or("gen php: missing hole count")?
+                .parse()
+                .map_err(|_| "gen php: bad hole count")?;
+            if !(1..=64).contains(&holes) {
+                return Err("gen php: hole count must be in 1..=64".into());
+            }
+            check_flags(&args[3..], &["-o"], &[])?;
+            workloads::cnf_gen::pigeonhole_aig(holes)
+        }
+        other => return Err(format!("unknown gen family '{other}'")),
+    };
+    match value_of(args, "-o")? {
+        Some(out) => {
+            let file =
+                std::fs::File::create(&out).map_err(|e| format!("cannot write {out}: {e}"))?;
+            aig::aiger::write_aag(&aig, file).map_err(|e| e.to_string())?;
+        }
+        None => {
+            print!("{}", aig::aiger::to_aag_string(&aig));
+        }
+    }
+    eprintln!(
+        "c gen {}: pis={} ands={}",
+        family,
+        aig.num_pis(),
+        aig.num_ands()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `csat bmc`: incremental bounded model checking / k-induction.
@@ -164,15 +324,11 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
     if machine.num_pos() == 0 {
         return Err("machine has no real PO to use as a bad signal".into());
     }
-    let bound: usize = match flag(args, "--bound") {
-        Some(n) => n.parse().map_err(|_| "bad bound")?,
-        None => 20,
-    };
-    let query_budget = match flag(args, "--conflicts") {
-        Some(n) => Some(n.parse().map_err(|_| "bad conflict budget")?),
-        None => None,
-    };
-    let preprocess = match flag(args, "--preprocess").as_deref() {
+    let bound: usize = parsed(args, "--bound")?.unwrap_or(20);
+    let query_budget: Option<u64> = parsed(args, "--conflicts")?;
+    let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let preprocess = match value_of(args, "--preprocess")?.as_deref() {
         None | Some("none") => mc::Preprocess::None,
         Some("synth") => mc::Preprocess::Synth(synth::Recipe::size_script()),
         Some("sweep") => mc::Preprocess::Sweep(sweep::FraigParams::default()),
@@ -188,41 +344,59 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
         machine.num_pos(),
         machine.comb().num_ands()
     );
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let (cex, proved, frames) = if args.iter().any(|a| a == "--kind") {
         let opts = mc::KindOptions {
             solver: SolverConfig::default(),
             query_budget,
+            deadline,
             preprocess,
         };
         match mc::prove(&machine, bound, &opts) {
             mc::KindResult::Proved { k } => {
                 eprintln!("c proved invariant by {k}-induction in {:?}", t0.elapsed());
+                resource_report("kind", "proved", t0.elapsed(), timeout_ms, &[]);
                 (None, true, k)
             }
             mc::KindResult::Cex { depth, trace } => (Some((depth, trace)), false, depth + 1),
             mc::KindResult::Unknown { k } => {
                 eprintln!("c inconclusive at strength {k} after {:?}", t0.elapsed());
+                resource_report("kind", "unknown", t0.elapsed(), timeout_ms, &[]);
                 println!("s UNKNOWN");
-                return Ok(ExitCode::SUCCESS);
+                return Ok(ExitCode::from(EXIT_RESOURCE));
             }
         }
     } else {
         let opts = mc::BmcOptions {
             solver: SolverConfig::default(),
             query_budget,
+            deadline,
             preprocess,
         };
         let mut engine = mc::BmcEngine::new(&machine, opts);
-        match engine.check_frames(bound) {
-            mc::BmcResult::Cex { depth, trace } => (Some((depth, trace)), false, depth + 1),
+        let result = engine.check_frames(bound);
+        let stats = *engine.stats();
+        let counters = [
+            ("conflicts", stats.conflicts),
+            ("deadline_interrupts", stats.deadline_interrupts),
+            ("cancellations", stats.cancellations),
+        ];
+        match result {
+            mc::BmcResult::Cex { depth, trace } => {
+                resource_report("bmc", "cex", t0.elapsed(), timeout_ms, &counters);
+                (Some((depth, trace)), false, depth + 1)
+            }
             mc::BmcResult::Clean { frames } => {
                 eprintln!(
                     "c no counterexample in {frames} frames ({} conflicts, {:?})",
-                    engine.stats().conflicts,
+                    stats.conflicts,
                     t0.elapsed()
                 );
+                resource_report("bmc", "clean", t0.elapsed(), timeout_ms, &counters);
                 println!("s UNKNOWN");
+                // The run *completed* — every requested frame was checked
+                // — so this is the inconclusive-but-done exit, not the
+                // resource one.
                 return Ok(ExitCode::SUCCESS);
             }
             mc::BmcResult::Unknown { frame } => {
@@ -230,17 +404,21 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
                     "c budget exhausted at frame {frame} after {:?}",
                     t0.elapsed()
                 );
+                resource_report("bmc", "unknown", t0.elapsed(), timeout_ms, &counters);
                 println!("s UNKNOWN");
-                return Ok(ExitCode::SUCCESS);
+                return Ok(ExitCode::from(EXIT_RESOURCE));
             }
         }
     };
     if proved {
         println!("s UNSATISFIABLE");
         eprintln!("c property is invariant (k = {frames})");
-        return Ok(ExitCode::from(20));
+        return Ok(ExitCode::from(EXIT_UNSAT));
     }
-    let (depth, trace) = cex.expect("non-proved path carries a counterexample");
+    let (depth, trace) = match cex {
+        Some(pair) => pair,
+        None => return Err("internal error: non-proved path lost its counterexample".into()),
+    };
     // Replay the trace word-level (compiled stepper, trace in bit 0)
     // before reporting it.
     let mut stepper = machine.stepper();
@@ -261,7 +439,29 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
             .collect();
         println!("v frame {t} inputs {}", bits.join(""));
     }
-    Ok(ExitCode::from(10))
+    Ok(ExitCode::from(EXIT_SAT))
+}
+
+/// Emits the machine-readable telemetry line every resource-governed mode
+/// prints exactly once, whatever the outcome:
+/// `c resource-report mode=.. status=.. elapsed_ms=.. timeout_ms=.. k=v ...`
+fn resource_report(
+    mode: &str,
+    status: &str,
+    elapsed: Duration,
+    timeout_ms: Option<u64>,
+    counters: &[(&str, u64)],
+) {
+    let timeout = timeout_ms.map_or("none".to_string(), |ms| ms.to_string());
+    let extras: String = counters
+        .iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect::<Vec<_>>()
+        .join("");
+    eprintln!(
+        "c resource-report mode={mode} status={status} elapsed_ms={} timeout_ms={timeout}{extras}",
+        elapsed.as_millis()
+    );
 }
 
 fn load(path: &str) -> Result<aig::Aig, String> {
@@ -275,18 +475,24 @@ fn load(path: &str) -> Result<aig::Aig, String> {
     result.map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn make_pipeline(args: &[String]) -> Result<Box<dyn Pipeline>, String> {
-    match flag(args, "--pipeline").as_deref() {
+fn make_pipeline(args: &[String], deadline: Option<Instant>) -> Result<Box<dyn Pipeline>, String> {
+    match value_of(args, "--pipeline")?.as_deref() {
         Some("baseline") => Ok(Box::new(BaselinePipeline)),
         Some("comp") => Ok(Box::new(CompPipeline::default())),
         None | Some("ours") => {
-            let recipe: Recipe = flag(args, "--recipe")
+            let recipe: Recipe = value_of(args, "--recipe")?
                 .unwrap_or_else(|| "rs;rs;rw".to_string())
                 .parse()
                 .map_err(|e| format!("{e}"))?;
             let mut pipeline = FrameworkPipeline::ours(RecipePolicy::Fixed(recipe));
             if args.iter().any(|a| a == "--sweep") {
-                pipeline = pipeline.with_sweep(sweep::FraigParams::default());
+                // The solve deadline governs the sweep stage too: a
+                // timed-out preprocess degrades to fewer merges, never to
+                // a stuck run.
+                pipeline = pipeline.with_sweep(sweep::FraigParams {
+                    deadline,
+                    ..sweep::FraigParams::default()
+                });
             }
             Ok(Box::new(pipeline))
         }
@@ -294,8 +500,47 @@ fn make_pipeline(args: &[String]) -> Result<Box<dyn Pipeline>, String> {
     }
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Rejects any argument that is not a recognised flag of the current
+/// command (catching typos that would otherwise be silently ignored).
+/// `value_flags` consume the following token as their value.
+fn check_flags(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            if i + 1 >= args.len() {
+                return Err(format!("flag {a} needs a value"));
+            }
+            i += 2;
+        } else if bool_flags.contains(&a) {
+            i += 1;
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    Ok(())
+}
+
+/// The value following `name`, or `Err` if the flag is present but the
+/// value is missing — a dangling flag must never silently fall back to a
+/// default.
+fn value_of(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("flag {name} needs a value")),
+        },
+    }
+}
+
+/// Parses the value of `name`, with the offending text in the error.
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match value_of(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value '{v}' for {name}")),
+    }
 }

@@ -132,7 +132,7 @@ pub fn run_campaign(
 ) -> Vec<RunRecord> {
     instances
         .iter()
-        .map(|inst| run_one(pipeline, inst, solver_name, solver, budget))
+        .map(|inst| run_one(pipeline, inst, solver_name, solver, budget.clone()))
         .collect()
 }
 

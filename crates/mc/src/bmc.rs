@@ -18,6 +18,7 @@ use crate::enc::{Enc, Val};
 use aig::seq::SeqAig;
 use cnf::CnfLit;
 use sat::{Budget, SolveResult, SolverConfig, Stats};
+use std::time::Instant;
 
 /// One-time preprocessing of the transition relation before unrolling —
 /// the paper's framework as a model-checking front end. The combinational
@@ -60,6 +61,14 @@ pub struct BmcOptions {
     /// charges it on top of the solver's cumulative conflict count, so a
     /// budgeted query never eats a later query's allowance.
     pub query_budget: Option<u64>,
+    /// Wall-clock deadline for the whole depth sweep. Once passed, the
+    /// engine stops *before* encoding another frame and interrupts any
+    /// in-flight query, returning [`BmcResult::Unknown`] with the deepest
+    /// bound reached ([`BmcEngine::clean_frames`] frames are still proved
+    /// clean — the best-so-far verdict stands). The interrupted query
+    /// stays pending, so extending the deadline
+    /// ([`BmcEngine::set_deadline`]) and re-calling resumes it.
+    pub deadline: Option<Instant>,
     /// One-time transition-relation preprocessing.
     pub preprocess: Preprocess,
 }
@@ -143,6 +152,7 @@ pub struct BmcEngine {
     reach: Vec<bool>,
     enc: Enc,
     query_budget: Option<u64>,
+    deadline: Option<Instant>,
     /// Solver variables of each encoded frame's real PIs.
     frame_pis: Vec<Vec<u32>>,
     /// State values entering the next frame to encode.
@@ -173,6 +183,7 @@ impl BmcEngine {
             reach,
             enc: Enc::new(opts.solver),
             query_budget: opts.query_budget,
+            deadline: opts.deadline,
             frame_pis: Vec::new(),
             state,
             clean_frames: 0,
@@ -190,6 +201,13 @@ impl BmcEngine {
     /// Frames proved clean so far.
     pub fn clean_frames(&self) -> usize {
         self.clean_frames
+    }
+
+    /// Replaces the wall-clock deadline (`None` lifts it). Lets a caller
+    /// that received [`BmcResult::Unknown`] at the deadline grant more
+    /// time and resume the sweep where it stopped.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Cumulative statistics of the persistent solver.
@@ -228,6 +246,16 @@ impl BmcEngine {
     /// Checks one more frame (or resumes an interrupted query). `None`
     /// means the frame was proved clean and the sweep may continue.
     fn step(&mut self) -> Option<BmcResult> {
+        // Don't start encoding a frame we have no time to check; report
+        // the deepest bound reached instead. A pending query is exempt:
+        // resuming it (after the caller extends the deadline) must not be
+        // starved by this pre-check — the solver's own interrupt polling
+        // handles an in-flight expiry.
+        if self.pending.is_none() && self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(BmcResult::Unknown {
+                frame: self.clean_frames,
+            });
+        }
         let query = match self.pending.take() {
             Some(q) => q,
             None => match self.encode_next_frame() {
@@ -235,10 +263,18 @@ impl BmcEngine {
                 Err(result) => return result,
             },
         };
-        if let Some(budget) = self.query_budget {
-            let limit = self.enc.solver.stats().conflicts + budget;
-            self.enc.solver.set_budget(Budget::conflicts(limit));
-        }
+        // Always reset the budget: a lifted deadline (or budget) must not
+        // leave a stale limit in the persistent solver.
+        let limit = self
+            .query_budget
+            .map(|b| self.enc.solver.stats().conflicts + b);
+        self.enc.solver.set_budget(
+            Budget {
+                conflicts: limit,
+                ..Budget::UNLIMITED
+            }
+            .with_deadline(self.deadline),
+        );
         match self.enc.solver.solve_with_assumptions(&[query.act]) {
             SolveResult::Sat(model) => {
                 let trace = self.decode_trace(&model, query.frame);
@@ -435,6 +471,65 @@ mod tests {
                 BmcResult::Clean { .. } => panic!("counter must fire at depth 15"),
             }
             assert!(unknowns < 10_000, "no progress under budget");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_deepest_bound_and_resumes() {
+        // An already-expired deadline must stop the sweep before any
+        // frame is encoded, report the deepest clean bound (0), and leave
+        // the engine resumable: lifting the deadline continues to the
+        // exact verdict of a never-throttled run.
+        let m = counter(3);
+        let mut engine = BmcEngine::new(
+            &m,
+            BmcOptions {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..BmcOptions::default()
+            },
+        );
+        assert_eq!(engine.check_frames(12), BmcResult::Unknown { frame: 0 });
+        assert_eq!(
+            engine.check_frames(12),
+            BmcResult::Unknown { frame: 0 },
+            "still starved until the deadline moves"
+        );
+        assert_eq!(engine.clean_frames(), 0);
+        engine.set_deadline(None);
+        match engine.check_frames(12) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, 7);
+                assert!(m.simulate(&trace)[depth][0]);
+            }
+            other => panic!("expected counterexample after deadline lift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_interrupts_inflight_query_and_preserves_progress() {
+        // Tight-but-live deadline: whatever bound the sweep reaches, the
+        // clean prefix must be real — extending the deadline resumes from
+        // it rather than restarting, and the final verdict matches the
+        // unthrottled one.
+        let m = counter(4);
+        let mut engine = BmcEngine::new(
+            &m,
+            BmcOptions {
+                deadline: Some(Instant::now() + std::time::Duration::from_micros(200)),
+                ..BmcOptions::default()
+            },
+        );
+        let first = engine.check_frames(16);
+        if let BmcResult::Unknown { frame } = first {
+            assert!(frame >= engine.clean_frames());
+            engine.set_deadline(None);
+        }
+        match engine.check_frames(16) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, 15);
+                assert!(m.simulate(&trace)[depth][0]);
+            }
+            other => panic!("expected depth-15 counterexample, got {other:?}"),
         }
     }
 

@@ -28,6 +28,7 @@ use crate::enc::{Enc, Val};
 use aig::seq::SeqAig;
 use cnf::CnfLit;
 use sat::{Budget, SolveResult, SolverConfig};
+use std::time::Instant;
 
 /// Options for [`prove`].
 #[derive(Clone, Debug, Default)]
@@ -36,6 +37,11 @@ pub struct KindOptions {
     pub solver: SolverConfig,
     /// Conflict budget per query (`None` = unlimited).
     pub query_budget: Option<u64>,
+    /// Wall-clock deadline for the whole run (shared by the base and step
+    /// solvers). Once passed, [`prove`] returns [`KindResult::Unknown`]
+    /// with the deepest strength reached — every strength below it was
+    /// genuinely discharged, so the best-so-far verdict stands.
+    pub deadline: Option<Instant>,
     /// One-time transition-relation preprocessing (applied once, shared
     /// by both engines).
     pub preprocess: Preprocess,
@@ -92,11 +98,17 @@ pub fn prove(seq: &SeqAig, max_k: usize, opts: &KindOptions) -> KindResult {
         BmcOptions {
             solver: opts.solver.clone(),
             query_budget: opts.query_budget,
+            deadline: opts.deadline,
             preprocess: Preprocess::None,
         },
     );
     let mut step = StepEngine::new(&seq, opts);
     for k in 1..=max_k {
+        // Out of time: report the deepest strength whose obligations were
+        // fully discharged. (`k - 1` held; `k` was never attempted.)
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            return KindResult::Unknown { k: k - 1 };
+        }
         // Base: no counterexample within k frames.
         match base.check_frames(k) {
             BmcResult::Cex { depth, trace } => return KindResult::Cex { depth, trace },
@@ -126,6 +138,7 @@ struct StepEngine {
     reach: Vec<bool>,
     enc: Enc,
     query_budget: Option<u64>,
+    deadline: Option<Instant>,
     /// `states[i]` = symbolic state entering frame `i` (`states[0]` free).
     states: Vec<Vec<Val>>,
     /// `bads[i]` = bad value of frame `i`.
@@ -151,6 +164,7 @@ impl StepEngine {
             reach,
             enc,
             query_budget: opts.query_budget,
+            deadline: opts.deadline,
             states: vec![s0],
             bads: Vec::new(),
             clean_asserted: 0,
@@ -191,10 +205,16 @@ impl StepEngine {
                 let act = self.enc.fresh_lit();
                 self.enc.solver.add_clause_cnf(&[!act, bad]);
                 self.active = Some(act);
-                if let Some(budget) = self.query_budget {
-                    let limit = self.enc.solver.stats().conflicts + budget;
-                    self.enc.solver.set_budget(Budget::conflicts(limit));
-                }
+                let limit = self
+                    .query_budget
+                    .map(|b| self.enc.solver.stats().conflicts + b);
+                self.enc.solver.set_budget(
+                    Budget {
+                        conflicts: limit,
+                        ..Budget::UNLIMITED
+                    }
+                    .with_deadline(self.deadline),
+                );
                 match self.enc.solver.solve_with_assumptions(&[act]) {
                     SolveResult::Sat(_) => StepVerdict::Sat,
                     SolveResult::Unsat => StepVerdict::Unsat,
@@ -323,6 +343,21 @@ mod tests {
             ..KindOptions::default()
         };
         assert!(prove(&m, 8, &opts).is_proved());
+    }
+
+    #[test]
+    fn expired_deadline_reports_best_so_far() {
+        // An already-expired deadline stops before strength 1 is ever
+        // attempted — Unknown at k = 0 — while the same options with the
+        // deadline lifted prove the property outright.
+        let m = mod_counter(3, 6);
+        let throttled = KindOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..KindOptions::default()
+        };
+        assert_eq!(prove(&m, 8, &throttled), KindResult::Unknown { k: 0 });
+        let unthrottled = KindOptions::default();
+        assert!(prove(&m, 8, &unthrottled).is_proved());
     }
 
     #[test]

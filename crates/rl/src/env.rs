@@ -102,7 +102,7 @@ impl SynthEnv {
     /// Starts a *training* episode: the initial branching count is measured
     /// up front so the terminal reward can be computed.
     pub fn new_training(instance: &Aig, cfg: EnvConfig) -> SynthEnv {
-        let init = measure_branchings(instance, &cfg.mapper, &cfg.solver, cfg.budget);
+        let init = measure_branchings(instance, &cfg.mapper, &cfg.solver, cfg.budget.clone());
         SynthEnv {
             baseline: FeatureBaseline::of(instance),
             embedding: instance_embedding(instance),
@@ -170,7 +170,7 @@ impl SynthEnv {
                 &self.current,
                 &self.cfg.mapper,
                 &self.cfg.solver,
-                self.cfg.budget,
+                self.cfg.budget.clone(),
             );
             let delta = self.init_branchings as f64 - fin as f64;
             if self.cfg.normalize_reward {
@@ -246,7 +246,7 @@ mod tests {
     fn measure_branchings_is_finite_and_deterministic() {
         let inst = small_instance();
         let cfg = EnvConfig::default();
-        let a = measure_branchings(&inst, &cfg.mapper, &cfg.solver, cfg.budget);
+        let a = measure_branchings(&inst, &cfg.mapper, &cfg.solver, cfg.budget.clone());
         let b = measure_branchings(&inst, &cfg.mapper, &cfg.solver, cfg.budget);
         assert_eq!(a, b);
     }

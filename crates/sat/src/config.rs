@@ -1,5 +1,9 @@
 //! Solver configuration and the two paper-substitute presets.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 /// Restart strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RestartStrategy {
@@ -90,12 +94,49 @@ impl Default for SolverConfig {
     }
 }
 
+/// Shared cancellation token: an [`Arc<AtomicBool>`] an external
+/// controller flips to interrupt every solver holding a clone of it.
+///
+/// Cancellation is sticky — once raised, every subsequent budgeted solve
+/// returns [`crate::SolveResult::Unknown`] until [`Cancellation::reset`]
+/// clears the flag (or the solver gets a budget without the token). The
+/// solver polls it coarsely (once per interrupt-check period), so a
+/// cancelled solve stops promptly but not instantaneously.
+#[derive(Clone, Debug, Default)]
+pub struct Cancellation(Arc<AtomicBool>);
+
+impl Cancellation {
+    /// A fresh, unraised token.
+    pub fn new() -> Cancellation {
+        Cancellation::default()
+    }
+
+    /// Raises the token; safe to call from any thread, idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Cancellation::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clears the token so solvers sharing it can run again.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
 /// Resource limits for one `solve()` call.
 ///
 /// Exceeding any limit makes the solver return
-/// [`crate::SolveResult::Unknown`]. The decision budget is the natural
-/// companion of the paper's branching-count metric.
-#[derive(Clone, Copy, Debug, Default)]
+/// [`crate::SolveResult::Unknown`] with its incremental state intact —
+/// re-querying resumes correctly. The decision budget is the natural
+/// companion of the paper's branching-count metric; the wall-clock
+/// deadline and the cancellation token are the serve-layer throttles
+/// (polled coarsely in the search loop, never on the propagation hot
+/// path).
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Maximum conflicts.
     pub conflicts: Option<u64>,
@@ -103,6 +144,12 @@ pub struct Budget {
     pub decisions: Option<u64>,
     /// Maximum unit propagations.
     pub propagations: Option<u64>,
+    /// Wall-clock deadline: the solve returns `Unknown` once `Instant::now()`
+    /// passes it. Checked once per interrupt-check period, so overshoot is
+    /// bounded by a batch of conflicts, not by the whole solve.
+    pub deadline: Option<Instant>,
+    /// External cancellation token shared with a controller thread.
+    pub cancel: Option<Cancellation>,
 }
 
 impl Budget {
@@ -111,6 +158,8 @@ impl Budget {
         conflicts: None,
         decisions: None,
         propagations: None,
+        deadline: None,
+        cancel: None,
     };
 
     /// A conflict-count limit only.
@@ -119,6 +168,28 @@ impl Budget {
             conflicts: Some(n),
             ..Budget::UNLIMITED
         }
+    }
+
+    /// A wall-clock limit only, expiring `timeout` from now.
+    pub fn timeout(timeout: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Budget {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a shared cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Cancellation) -> Budget {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -139,5 +210,23 @@ mod tests {
         let b = Budget::conflicts(100);
         assert_eq!(b.conflicts, Some(100));
         assert!(b.decisions.is_none());
+        assert!(b.deadline.is_none());
+        assert!(b.cancel.is_none());
+        let t = Budget::timeout(Duration::from_secs(1));
+        assert!(t.deadline.is_some());
+        assert!(t.conflicts.is_none());
+    }
+
+    #[test]
+    fn cancellation_is_shared_sticky_and_resettable() {
+        let c = Cancellation::new();
+        let clone = c.clone();
+        assert!(!clone.is_cancelled());
+        c.cancel();
+        assert!(clone.is_cancelled(), "clones share one flag");
+        c.cancel(); // idempotent
+        assert!(c.is_cancelled());
+        clone.reset();
+        assert!(!c.is_cancelled());
     }
 }

@@ -40,6 +40,6 @@ mod solver;
 mod stats;
 mod types;
 
-pub use config::{Budget, RestartStrategy, SolverConfig};
+pub use config::{Budget, Cancellation, RestartStrategy, SolverConfig};
 pub use solver::{solve_cnf, SolveResult, Solver};
 pub use stats::Stats;

@@ -14,6 +14,14 @@ use crate::restart::RestartPolicy;
 use crate::stats::Stats;
 use crate::types::{ClauseRef, LBool, Lit, Reason, Var};
 use cnf::{Cnf, CnfLit};
+use std::time::Instant;
+
+/// Conflicts (or decisions) between checks of the *external* interrupt
+/// sources — the wall-clock deadline and the cancellation token. Both
+/// involve work too costly for every search step (`Instant::now()`, an
+/// atomic load), so they are polled once per batch; the counter budgets
+/// stay exact. Overshoot past a deadline is bounded by one batch.
+const INTERRUPT_CHECK_PERIOD: u32 = 64;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,6 +130,11 @@ pub struct Solver {
 
     /// False once the formula is known UNSAT at level 0.
     ok: bool,
+    /// Steps until the next deadline/cancellation poll (see
+    /// [`INTERRUPT_CHECK_PERIOD`]). Re-armed at 1 by every solve so a
+    /// pre-expired deadline or pre-raised token is noticed before any
+    /// search work.
+    interrupt_countdown: u32,
 
     // Analysis scratch space.
     seen: Vec<bool>,
@@ -157,6 +170,7 @@ impl Solver {
             next_reduce,
             reduce_count: 0,
             ok: true,
+            interrupt_countdown: 1,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
@@ -879,6 +893,35 @@ impl Solver {
             || b.propagations.is_some_and(|m| self.stats.propagations >= m)
     }
 
+    /// Coarse poll of the external interrupt sources (deadline,
+    /// cancellation). Counted into [`Stats`] when one fires; cheap to call
+    /// every step — the real checks run once per
+    /// [`INTERRUPT_CHECK_PERIOD`].
+    fn interrupted(&mut self) -> bool {
+        if self.budget.deadline.is_none() && self.budget.cancel.is_none() {
+            return false;
+        }
+        if self.interrupt_countdown > 1 {
+            self.interrupt_countdown -= 1;
+            return false;
+        }
+        self.interrupt_countdown = INTERRUPT_CHECK_PERIOD;
+        if self
+            .budget
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+        {
+            self.stats.cancellations += 1;
+            return true;
+        }
+        if self.budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.deadline_interrupts += 1;
+            return true;
+        }
+        false
+    }
+
     /// Runs CDCL search to completion or budget exhaustion.
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with_assumptions(&[])
@@ -915,6 +958,9 @@ impl Solver {
             .unwrap_or(0);
         self.ensure_vars(max_var);
         self.seen.resize(self.num_vars(), false);
+        // Poll deadline/cancellation at the first opportunity: an already
+        // interrupted solve must return promptly, not after a batch.
+        self.interrupt_countdown = 1;
         // Top-level propagation of any pending units.
         if self.propagate().is_some() {
             self.ok = false;
@@ -955,7 +1001,7 @@ impl Solver {
                         + self.reduce_count * self.config.reduce_increment;
                     self.reduce_db();
                 }
-                if self.budget_exhausted() {
+                if self.budget_exhausted() || self.interrupted() {
                     self.backtrack(0);
                     return SolveResult::Unknown;
                 }
@@ -1000,7 +1046,7 @@ impl Solver {
                         return SolveResult::Sat(model);
                     }
                     Some(l) => {
-                        if self.budget_exhausted() {
+                        if self.budget_exhausted() || self.interrupted() {
                             // The popped branch variable is still
                             // unassigned: put it back or it would leak
                             // from the order heap across budgeted calls
@@ -1258,6 +1304,39 @@ mod tests {
             }
         }
         assert_eq!(answer, SolveResult::Unsat, "php(5) is unsatisfiable");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_and_state_survives() {
+        // A pre-expired deadline must interrupt promptly (before any real
+        // search), count into the stats, and leave the incremental state
+        // intact: removing the deadline and re-solving must give the same
+        // verdict as a fresh solver.
+        let f = workloads_php(4);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        s.set_budget(Budget::UNLIMITED.with_deadline(Some(past)));
+        for _ in 0..3 {
+            assert_eq!(s.solve(), SolveResult::Unknown);
+        }
+        assert!(s.stats().deadline_interrupts >= 3);
+        s.set_budget(Budget::UNLIMITED);
+        assert_eq!(s.solve(), SolveResult::Unsat, "php(4) is unsatisfiable");
+        assert_eq!(s.stats().cancellations, 0);
+    }
+
+    #[test]
+    fn raised_cancellation_interrupts_until_reset() {
+        let f = workloads_php(4);
+        let mut s = Solver::from_cnf(&f, SolverConfig::default());
+        let token = crate::Cancellation::new();
+        s.set_budget(Budget::UNLIMITED.with_cancel(token.clone()));
+        token.cancel();
+        assert_eq!(s.solve(), SolveResult::Unknown, "raised token interrupts");
+        assert_eq!(s.solve(), SolveResult::Unknown, "cancellation is sticky");
+        assert!(s.stats().cancellations >= 2);
+        token.reset();
+        assert_eq!(s.solve(), SolveResult::Unsat, "reset token solves through");
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct Stats {
     pub gcs: u64,
     /// Watch lists whose spare capacity was reclaimed after reduction.
     pub watcher_shrinks: u64,
+    /// Solves interrupted by a wall-clock deadline.
+    pub deadline_interrupts: u64,
+    /// Solves interrupted by an external cancellation token.
+    pub cancellations: u64,
     /// Maximum trail height observed.
     pub max_trail: usize,
 }

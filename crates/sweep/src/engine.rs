@@ -18,6 +18,7 @@ use aig::sim::{
 use aig::{Aig, Lit, SimProgram, Var};
 use cnf::{tseitin, CnfLit, VarMap};
 use sat::{Budget, SolveResult, Solver, SolverConfig};
+use std::time::Instant;
 
 /// Tuning knobs for [`fraig`].
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +76,89 @@ pub struct FraigParams {
     /// kept as a differential oracle (`compiled_sim: false`, exercised by
     /// CI). Default `true`.
     pub compiled_sim: bool,
+    /// Whole-sweep wall-clock deadline. Once passed, the round loop exits
+    /// before starting another round, and in-flight SAT queries are
+    /// interrupted by the solver's own deadline check — either way the
+    /// partial result is sound: merges proved so far are kept, remaining
+    /// pairs stay `Undecided`, and the cut is recorded in
+    /// [`FraigStats::deadline_interrupts`]. `None` (the default) never
+    /// interrupts. Unlike the other knobs a deadline is inherently
+    /// schedule-dependent, so a deadlined sweep waives the thread-count
+    /// bit-identity contract (a pinned-shard run still stays sound and
+    /// deterministic *given* where the cut lands).
+    pub deadline: Option<Instant>,
+    /// Deterministic fault-injection plan (test harness). `None` — the
+    /// default and the production setting — injects nothing and leaves
+    /// every path untouched. See [`ChaosPlan`].
+    pub chaos: Option<ChaosPlan>,
+}
+
+/// Deterministic fault-injection plan for the sweep's oracle layer — the
+/// robustness test harness behind `tests/fault_injection.rs`.
+///
+/// Faults are rolled per query from `(seed, round, pair index)` alone, so
+/// an injected fault pattern is bit-reproducible and — like every other
+/// part of the sweep — independent of the thread count for a pinned shard
+/// count. Three fault shapes cover the real failure modes:
+///
+/// * **Unknown storms** (`unknown_in_1024`): the oracle answer is replaced
+///   by `Undecided` without running SAT, modelling budget/deadline
+///   exhaustion on a single query.
+/// * **Worker panics** (`panic_in_1024`): the shard worker panics,
+///   modelling a crashed solver; the pool contains it (`catch_unwind`) and
+///   the engine converts the shard's unanswered pairs to `Undecided` and
+///   counts [`FraigStats::shard_failures`].
+/// * **Round starvation** (`starve_from_round`): every query from the
+///   given round on is starved to `Undecided`, modelling whole-sweep
+///   deadline exhaustion at round granularity — deterministic, unlike a
+///   real wall-clock cut, so tests can assert exact subset properties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Fault-pattern seed.
+    pub seed: u64,
+    /// Per-query chance (out of 1024) of forcing an `Undecided` answer.
+    pub unknown_in_1024: u16,
+    /// Per-query chance (out of 1024) of panicking the shard worker.
+    pub panic_in_1024: u16,
+    /// Starve every query to `Undecided` from this round on.
+    pub starve_from_round: Option<usize>,
+}
+
+/// One injected fault.
+enum Fault {
+    /// Answer `Undecided` without consulting the oracle.
+    Unknown,
+    /// Panic the shard worker mid-query.
+    Panic,
+}
+
+impl ChaosPlan {
+    /// Rolls the fault (if any) for one query. Pure function of
+    /// `(self.seed, round, task)` — never of scheduling.
+    fn roll(&self, round: usize, task: usize) -> Option<Fault> {
+        if self.starve_from_round.is_some_and(|r| round >= r) {
+            return Some(Fault::Unknown);
+        }
+        let x = splitmix64(
+            self.seed ^ ((round as u64) << 40) ^ (task as u64).wrapping_mul(0x9E37_79B9),
+        );
+        let r = (x % 1024) as u16;
+        if r < self.panic_in_1024 {
+            Some(Fault::Panic)
+        } else if r < self.panic_in_1024.saturating_add(self.unknown_in_1024) {
+            Some(Fault::Unknown)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finaliser: one well-mixed word from one input word.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl Default for FraigParams {
@@ -89,6 +173,8 @@ impl Default for FraigParams {
             shards: 0,
             warm_start: false,
             compiled_sim: true,
+            deadline: None,
+            chaos: None,
         }
     }
 }
@@ -104,10 +190,17 @@ pub struct FraigStats {
     pub proved: usize,
     /// Queries answered SAT (counterexample found, class split).
     pub disproved: usize,
-    /// Queries that ran out of budget.
+    /// Queries that ran out of budget (including those lost to faults).
     pub unknown: usize,
     /// Counterexample patterns fed back into simulation.
     pub cex_patterns: usize,
+    /// Deadline interruptions observed: one per SAT query cut mid-search
+    /// by the sweep deadline, plus one if the round loop itself was cut
+    /// before finishing.
+    pub deadline_interrupts: u64,
+    /// Shard workers that panicked and were contained; their unanswered
+    /// pairs degraded to `Undecided` and their oracles were rebuilt.
+    pub shard_failures: u64,
 }
 
 /// Result of a [`fraig`] run.
@@ -195,6 +288,13 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     // is built once and reused by every round's resimulation.
     let prog = params.compiled_sim.then(|| SimProgram::full(aig));
     for round in 0..params.max_rounds {
+        // Whole-sweep deadline: never start a round past it. Everything
+        // merged so far is individually SAT-proved, so cutting here only
+        // loses further reductions, never soundness.
+        if params.deadline.is_some_and(|d| Instant::now() >= d) {
+            stats.deadline_interrupts += 1;
+            break;
+        }
         stats.rounds = round + 1;
         simulate_round(
             aig,
@@ -254,15 +354,23 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         // Prove the whole list on the sharded oracles (in parallel when
         // threads allow), then merge the answers in pair-index order.
         stats.sat_calls += tasks.len() as u64;
-        let answers = prove_tasks(
+        let (answers, failed_shards) = prove_tasks(
             &mut oracles,
             &base_solver,
             base_vars,
             &vmap,
             &tasks,
             params,
+            round,
             threads,
         );
+        // A panicked shard's oracle is poisoned mid-query: drop it so the
+        // next round lazily rebuilds from the clean base solver. Its
+        // unanswered pairs surface as `Undecided` below.
+        stats.shard_failures += failed_shards.len() as u64;
+        for s in failed_shards {
+            oracles[s] = None;
+        }
 
         // This round's counterexamples, packed on the fly (bit j of
         // chunk[i] = value of PI i in the j-th counterexample). One word
@@ -287,8 +395,13 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
                         chunk_len += 1;
                     }
                 }
-                Answer::Undecided => {
+                Answer::Undecided {
+                    deadline_interrupted,
+                } => {
                     stats.unknown += 1;
+                    if *deadline_interrupted {
+                        stats.deadline_interrupts += 1;
+                    }
                     fresh_dead.push(pair_key(task.repr, task.member));
                 }
             }
@@ -311,7 +424,7 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
 }
 
 /// Proves every task of one round on the sharded oracles and returns the
-/// answers in task order.
+/// answers in task order plus the indices of shards whose worker panicked.
 ///
 /// Task `i` runs on oracle `i % shards`; within a shard, tasks run in
 /// ascending index order. Both facts are independent of `threads`, so each
@@ -320,6 +433,12 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
 /// vector is bit-identical from one core to many. Workers stream
 /// `(index, answer)` pairs over a channel; [`run_sharded`] reassembles
 /// them into index order.
+///
+/// A shard panic (contained by the pool) loses that shard's remaining
+/// answers; the lost slots degrade to `Undecided` — the same sound
+/// "no answer" the budget path produces — so the merge loop never has to
+/// care how an answer went missing.
+#[allow(clippy::too_many_arguments)]
 fn prove_tasks(
     oracles: &mut [Option<PairOracle>],
     base_solver: &Solver,
@@ -327,15 +446,30 @@ fn prove_tasks(
     vmap: &VarMap,
     tasks: &[PairTask],
     params: &FraigParams,
+    round: usize,
     threads: usize,
-) -> Vec<Answer> {
+) -> (Vec<Answer>, Vec<usize>) {
     if tasks.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let shards = oracles.len();
-    let answers = run_sharded(threads, oracles, tasks.len(), |s, oracle, emit| {
+    let run = run_sharded(threads, oracles, tasks.len(), |s, oracle, emit| {
         let mut i = s;
         while i < tasks.len() {
+            match params.chaos.as_ref().and_then(|c| c.roll(round, i)) {
+                Some(Fault::Unknown) => {
+                    emit(
+                        i,
+                        Answer::Undecided {
+                            deadline_interrupted: false,
+                        },
+                    );
+                    i += shards;
+                    continue;
+                }
+                Some(Fault::Panic) => panic!("chaos: injected shard-worker panic"),
+                None => {}
+            }
             // Oracles are built lazily so tiny rounds never pay for
             // shards they do not touch; first use is per-shard
             // deterministic.
@@ -348,16 +482,26 @@ fn prove_tasks(
             i += shards;
         }
     });
-    answers
+    let answers = run
+        .results
         .into_iter()
-        .map(|a| a.expect("every task is assigned to exactly one shard"))
-        .collect()
+        .map(|a| {
+            a.unwrap_or(Answer::Undecided {
+                deadline_interrupted: false,
+            })
+        })
+        .collect();
+    (answers, run.failed_shards)
 }
 
 enum Answer {
     Equivalent,
     Different(Vec<bool>),
-    Undecided,
+    Undecided {
+        /// The query was cut by the sweep deadline (as opposed to the
+        /// conflict budget or an injected fault).
+        deadline_interrupted: bool,
+    },
 }
 
 /// Incremental equivalence oracle: one CDCL solver holding the Tseitin
@@ -394,9 +538,14 @@ impl PairOracle {
         let a = vmap
             .lit(Lit::from_var(member, false))
             .expect("member is PO-reachable, hence encoded");
-        // The conflict budget is cumulative on the shard's solver.
+        // The conflict budget is cumulative on the shard's solver; the
+        // sweep deadline rides along so a mid-round cut interrupts the
+        // remaining queries promptly instead of letting each burn its full
+        // conflict allowance.
         let limit = self.solver.stats().conflicts + params.conflict_budget;
-        self.solver.set_budget(Budget::conflicts(limit));
+        let deadline_interrupts_before = self.solver.stats().deadline_interrupts;
+        self.solver
+            .set_budget(Budget::conflicts(limit).with_deadline(params.deadline));
         let result = match cnf_lit_of(vmap, repr, phase) {
             Some(b) => {
                 // Miter gadget `s -> (a ⊕ b)` under fresh activation var s.
@@ -425,7 +574,10 @@ impl PairOracle {
         match result {
             SolveResult::Unsat => Answer::Equivalent,
             SolveResult::Sat(model) => Answer::Different(vmap.decode_inputs(&model)),
-            SolveResult::Unknown => Answer::Undecided,
+            SolveResult::Unknown => Answer::Undecided {
+                deadline_interrupted: self.solver.stats().deadline_interrupts
+                    > deadline_interrupts_before,
+            },
         }
     }
 }
@@ -687,6 +839,49 @@ mod tests {
         let out2 = fraig(&g2, &FraigParams::default());
         assert_eq!(out2.aig.num_ands(), 0);
         assert_eq!(out2.aig.num_pis(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_yields_sound_partial_result() {
+        // A deadline in the past cuts the sweep before round 1: no merges,
+        // no SAT calls, but a functionally identical graph and the cut
+        // recorded in the stats.
+        let g = equivalence_miter(4);
+        let out = fraig(
+            &g,
+            &FraigParams {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..FraigParams::default()
+            },
+        );
+        assert_eq!(out.stats.rounds, 0);
+        assert_eq!(out.stats.sat_calls, 0);
+        assert!(out.stats.deadline_interrupts >= 1);
+        assert!(exhaustive_equiv(&g, &out.aig));
+    }
+
+    #[test]
+    fn chaos_panic_storm_is_contained() {
+        // Every query panics the worker: the sweep must still terminate
+        // with an equivalent graph, all pairs undecided, and the failures
+        // counted — the process-level contract behind the serve layer.
+        let g = equivalence_miter(4);
+        let out = fraig(
+            &g,
+            &FraigParams {
+                threads: 1,
+                shards: 2,
+                chaos: Some(ChaosPlan {
+                    seed: 7,
+                    panic_in_1024: 1024,
+                    ..ChaosPlan::default()
+                }),
+                ..FraigParams::default()
+            },
+        );
+        assert!(out.stats.shard_failures >= 1);
+        assert_eq!(out.stats.proved, 0);
+        assert!(exhaustive_equiv(&g, &out.aig));
     }
 
     /// Structural equality of two rebuilt graphs (node-for-node).

@@ -50,4 +50,4 @@ mod engine;
 pub mod pool;
 
 pub use classes::{candidate_classes, ClassMember, SigClasses};
-pub use engine::{fraig, FraigOutcome, FraigParams, FraigStats};
+pub use engine::{fraig, ChaosPlan, FraigOutcome, FraigParams, FraigStats};

@@ -17,38 +17,79 @@
 //! Results stream back to the caller over an [`mpsc`] channel keyed by item
 //! index; the caller reassembles them into index order, turning unordered
 //! parallel arrival into a deterministic merge.
+//!
+//! Shard work runs under [`catch_unwind`]: a panicking shard is contained
+//! — its pre-panic emissions are kept, its index is reported in
+//! [`ShardedRun::failed_shards`], and every other shard (and the process)
+//! keeps running. Since a shard's item sequence is deterministic, so is the
+//! set of emissions it completed before a deterministic panic, keeping the
+//! thread-invariance contract intact even under worker crashes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+
+/// Outcome of [`run_sharded`]: per-slot results plus which shards died.
+#[derive(Debug)]
+pub struct ShardedRun<V> {
+    /// Result per slot (`None` where nothing was emitted — unfilled slots,
+    /// or items lost to a shard panic).
+    pub results: Vec<Option<V>>,
+    /// Indices of shards whose closure panicked, in ascending order. The
+    /// caller owns the shard states and should treat these as poisoned
+    /// (e.g. rebuild the shard's solver before reusing it).
+    pub failed_shards: Vec<usize>,
+}
 
 /// Runs `f(shard_index, &mut shard_state, emit)` once per shard, spreading
 /// the shards round-robin across at most `threads` worker threads.
 ///
 /// `f` receives an `emit(key, value)` sink; every emitted pair is collected
-/// into the returned vector at position `key` (`None` where nothing was
-/// emitted). Keys must be `< slots`; emitting a key twice keeps the later
-/// arrival, so shard item assignments should be disjoint.
+/// into `results` at position `key` (`None` where nothing was emitted).
+/// Keys must be `< slots`; emitting a key twice keeps the later arrival, so
+/// shard item assignments should be disjoint.
 ///
 /// With `threads <= 1` (or a single shard) everything runs inline on the
 /// caller's thread — no spawns, no channel — but over the *same* per-shard
 /// item sequences, so the output is bit-identical to the parallel run.
 ///
+/// A panic inside `f` never propagates: the shard's completed emissions
+/// are kept, its index lands in [`ShardedRun::failed_shards`], and the
+/// remaining shards run to completion — on the inline path exactly as on
+/// the threaded one.
+///
 /// # Panics
 /// Panics (in the collector) if an emitted key is `>= slots`.
-pub fn run_sharded<S, V, F>(threads: usize, shards: &mut [S], slots: usize, f: F) -> Vec<Option<V>>
+pub fn run_sharded<S, V, F>(threads: usize, shards: &mut [S], slots: usize, f: F) -> ShardedRun<V>
 where
     S: Send,
     V: Send,
     F: Fn(usize, &mut S, &mut dyn FnMut(usize, V)) + Sync,
 {
     let mut out: Vec<Option<V>> = std::iter::repeat_with(|| None).take(slots).collect();
+    let mut failed: Vec<usize> = Vec::new();
     let workers = threads.min(shards.len());
     if workers <= 1 {
         for (s, state) in shards.iter_mut().enumerate() {
-            f(s, state, &mut |k, v| out[k] = Some(v));
+            // AssertUnwindSafe: on panic the caller is told the shard
+            // failed and is expected to discard its (possibly
+            // half-mutated) state instead of querying it further.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                f(s, state, &mut |k, v| out[k] = Some(v));
+            }));
+            if run.is_err() {
+                failed.push(s);
+            }
         }
-        return out;
+        return ShardedRun {
+            results: out,
+            failed_shards: failed,
+        };
     }
-    let (tx, rx) = mpsc::channel::<(usize, V)>();
+    enum Msg<V> {
+        Item(usize, V),
+        ShardPanicked(usize),
+    }
+    let (tx, rx) = mpsc::channel::<Msg<V>>();
     std::thread::scope(|scope| {
         // Deal shards round-robin onto workers. Which worker runs a shard
         // is irrelevant for determinism — only the per-shard sequence is.
@@ -61,20 +102,32 @@ where
             let tx = tx.clone();
             scope.spawn(move || {
                 for (s, state) in bucket {
-                    f(s, state, &mut |k, v| {
-                        // A closed channel means the collector panicked;
-                        // just stop producing.
-                        let _ = tx.send((k, v));
-                    });
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        f(s, state, &mut |k, v| {
+                            // A closed channel means the collector
+                            // panicked; just stop producing.
+                            let _ = tx.send(Msg::Item(k, v));
+                        });
+                    }));
+                    if run.is_err() {
+                        let _ = tx.send(Msg::ShardPanicked(s));
+                    }
                 }
             });
         }
         drop(tx);
-        for (k, v) in rx {
-            out[k] = Some(v);
+        for msg in rx {
+            match msg {
+                Msg::Item(k, v) => out[k] = Some(v),
+                Msg::ShardPanicked(s) => failed.push(s),
+            }
         }
     });
-    out
+    failed.sort_unstable();
+    ShardedRun {
+        results: out,
+        failed_shards: failed,
+    }
 }
 
 /// Resolves a thread-count knob: `0` means one thread per available core,
@@ -95,14 +148,16 @@ mod tests {
     /// regardless of thread count.
     fn run(threads: usize, shards: usize, items: usize) -> Vec<Option<(usize, u64)>> {
         let mut states: Vec<u64> = vec![0; shards];
-        run_sharded(threads, &mut states, items, |s, state, emit| {
+        let run = run_sharded(threads, &mut states, items, |s, state, emit| {
             let mut i = s;
             while i < items {
                 *state += 1; // per-shard running count = deterministic state
                 emit(i, (s, *state));
                 i += shards;
             }
-        })
+        });
+        assert!(run.failed_shards.is_empty());
+        run.results
     }
 
     #[test]
@@ -131,8 +186,53 @@ mod tests {
         let out = run(4, 3, 0);
         assert!(out.is_empty());
         let mut none: Vec<u8> = Vec::new();
-        let out: Vec<Option<()>> = run_sharded(4, &mut none, 0, |_, _, _| {});
-        assert!(out.is_empty());
+        let run: ShardedRun<()> = run_sharded(4, &mut none, 0, |_, _, _| {});
+        assert!(run.results.is_empty());
+        assert!(run.failed_shards.is_empty());
+    }
+
+    /// Shard 1 panics midway; its pre-panic emissions and every other
+    /// shard's full output must survive, identically for any thread count.
+    fn run_with_poison(threads: usize) -> (Vec<Option<usize>>, Vec<usize>) {
+        let mut states: Vec<u64> = vec![0; 3];
+        let run = run_sharded(threads, &mut states, 9, |s, _state, emit| {
+            let mut i = s;
+            while i < 9 {
+                if s == 1 && i >= 4 {
+                    panic!("injected shard failure");
+                }
+                emit(i, i * 10);
+                i += 3;
+            }
+        });
+        (run.results, run.failed_shards)
+    }
+
+    #[test]
+    fn panicking_shard_is_contained_and_reported() {
+        let (seq, seq_failed) = run_with_poison(1);
+        assert_eq!(seq_failed, vec![1]);
+        // Shard 1 handles items 1, 4, 7: item 1 emitted, 4 and 7 lost.
+        assert_eq!(seq[1], Some(10));
+        assert_eq!(seq[4], None);
+        assert_eq!(seq[7], None);
+        // Shards 0 and 2 are untouched by the neighbour's crash.
+        for i in [0usize, 2, 3, 5, 6, 8] {
+            assert_eq!(seq[i], Some(i * 10), "item {i}");
+        }
+        for threads in [2, 3, 8] {
+            assert_eq!(run_with_poison(threads), (seq.clone(), seq_failed.clone()));
+        }
+    }
+
+    #[test]
+    fn every_shard_failing_still_returns() {
+        let mut states: Vec<u8> = vec![0; 4];
+        let run: ShardedRun<()> = run_sharded(2, &mut states, 4, |_, _, _| {
+            panic!("all down");
+        });
+        assert!(run.results.iter().all(|r| r.is_none()));
+        assert_eq!(run.failed_shards, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! solver stressors shared by the perf harness, the criterion benches,
 //! and the differential test suites — one definition, one encoding.
 
+use aig::{Aig, Lit};
 use cnf::{Cnf, CnfLit};
 use rand::{Rng, SeedableRng};
 
@@ -23,6 +24,38 @@ pub fn pigeonhole(holes: u32) -> Cnf {
         }
     }
     f
+}
+
+/// The same pigeonhole family as [`pigeonhole`], but as a combinational
+/// circuit: PI `p * holes + h` means "pigeon `p` sits in hole `h`", and
+/// the single PO is the conjunction of every placement constraint — each
+/// of the `holes + 1` pigeons in some hole, no hole holding two pigeons.
+/// The PO is satisfiable iff a valid injection exists, i.e. never: the
+/// instance is UNSAT, turning a CNF-only stressor into a front-door
+/// workload for the full AIG → CNF pipeline (and the CLI's timeout path).
+pub fn pigeonhole_aig(holes: u32) -> Aig {
+    let pigeons = holes + 1;
+    let mut g = Aig::new();
+    let pis: Vec<Lit> = (0..pigeons * holes).map(|_| g.add_pi()).collect();
+    let var = |p: u32, h: u32| pis[(p * holes + h) as usize];
+    let mut constraints = Lit::TRUE;
+    for p in 0..pigeons {
+        let mut somewhere = Lit::FALSE;
+        for h in 0..holes {
+            somewhere = g.or(somewhere, var(p, h));
+        }
+        constraints = g.and(constraints, somewhere);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                let clash = g.and(var(p1, h), var(p2, h));
+                constraints = g.and(constraints, !clash);
+            }
+        }
+    }
+    g.add_po(constraints);
+    g
 }
 
 /// Uniform random 3-SAT over `n` variables at the given clause/variable
@@ -93,6 +126,22 @@ mod tests {
         let pair_clauses = holes * pigeons * (pigeons - 1) / 2;
         assert_eq!(f.num_vars(), pigeons * holes);
         assert_eq!(f.num_clauses() as u32, pigeons + pair_clauses);
+    }
+
+    #[test]
+    fn pigeonhole_aig_is_exhaustively_unsat() {
+        // holes+1 pigeons never fit: the PO must be false for every input
+        // assignment (checked exhaustively at small sizes).
+        for holes in [1u32, 2] {
+            let g = pigeonhole_aig(holes);
+            let n = ((holes + 1) * holes) as usize;
+            assert_eq!(g.num_pis(), n);
+            assert_eq!(g.num_pos(), 1);
+            for bits in 0..(1u32 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| bits >> i & 1 != 0).collect();
+                assert!(!g.eval(&ins)[0], "holes={holes} bits={bits:b}");
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
 
     // Conventional pipeline: direct Tseitin encoding.
     let base = BaselinePipeline.preprocess(&instance);
-    let (res, stats) = solve_cnf(&base.cnf, solver.clone(), budget);
+    let (res, stats) = solve_cnf(&base.cnf, solver.clone(), budget.clone());
     println!(
         "baseline : {:>6} vars {:>7} clauses -> {:?}, {} decisions, {} conflicts",
         base.cnf.num_vars(),

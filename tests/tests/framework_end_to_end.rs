@@ -61,7 +61,7 @@ fn miniature_paper_run() {
         ))),
     ];
     for arm in &arms {
-        let records = run_campaign(arm.as_ref(), &test, "kissat", &solver, budget);
+        let records = run_campaign(arm.as_ref(), &test, "kissat", &solver, budget.clone());
         assert_eq!(records.len(), test.len());
         // All models valid, no unexpected statuses.
         for r in &records {
