@@ -30,6 +30,7 @@
 //! assert!(!cuts[x.var() as usize].is_empty());
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -9,6 +9,10 @@
 //! `n_words` words per row (row-major, stride `n_words`), one row per AIG
 //! node. Simulation writes straight into the matrix column by column, so
 //! neither the producer nor any consumer allocates per-node rows.
+// The only unsafe code in this crate lives here (the parallel column-scatter writers);
+// the crate root denies it everywhere else, and every block
+// carries a `// SAFETY:` comment (clippy-enforced).
+#![allow(unsafe_code)]
 
 use crate::aig::Aig;
 use crate::compile::SimProgram;
@@ -286,6 +290,10 @@ fn fill_pi_block(pi_block: &mut [u64], seed: u64, block: u64) {
 /// *disjoint* set of columns, all within the buffer, and the matrix is not
 /// read until the scope joins — so the raw writes never alias.
 struct ColumnCursor(*mut u64);
+// SAFETY: per the contract above — workers write disjoint columns of a
+// buffer that outlives the scope, and nothing reads it until the scoped
+// threads join, so shared `&ColumnCursor` access never produces a data
+// race.
 unsafe impl Sync for ColumnCursor {}
 
 /// [`random_columns`] split across up to `threads` worker threads.

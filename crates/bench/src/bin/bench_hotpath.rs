@@ -127,6 +127,60 @@ fn main() {
         ),
     ];
 
+    // --- proof logging: zero-cost-when-off + logging overhead -----------
+    // Same php workload as the solver row, solved with proof logging off
+    // and on. The off row must stay within noise of the plain solver rows
+    // (the disabled path is one `None` check at conflict rate); the on
+    // row records the real cost of recording every learnt and deleted
+    // clause. The certificate is then verified by the independent
+    // checker, whose wall time and verdict are part of the row — CI fails
+    // the build if the certificate is rejected.
+    struct ProofRow {
+        logging_off_wall_s: f64,
+        logging_on_wall_s: f64,
+        overhead_ratio: f64,
+        proof_additions: usize,
+        proof_deletions: usize,
+        check_wall_s: f64,
+        check_verified: bool,
+    }
+    let proof_row = {
+        let f = pigeonhole(php_holes);
+        let time_php = |proof: bool| {
+            let mut cfg = SolverConfig::kissat_like();
+            cfg.proof = proof;
+            let mut solver = sat::Solver::from_cnf(&f, cfg.clone());
+            assert!(solver.solve().is_unsat(), "php is UNSAT"); // warm-up
+            let start = Instant::now();
+            for _ in 0..solver_reps {
+                solver = sat::Solver::from_cnf(&f, cfg.clone());
+                assert!(solver.solve().is_unsat(), "php is UNSAT");
+            }
+            (start.elapsed().as_secs_f64(), solver)
+        };
+        let (logging_off_wall_s, _) = time_php(false);
+        let (logging_on_wall_s, solver) = time_php(true);
+        let log = solver.proof().expect("proof logging was on");
+        let formula: Vec<Vec<i32>> = f
+            .clauses()
+            .iter()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect();
+        let proof =
+            checker::Proof::from_steps(log.steps().iter().map(|s| (s.delete, s.lits.clone())));
+        let start = Instant::now();
+        let check_verified = checker::check(&formula, &proof).is_ok();
+        ProofRow {
+            logging_off_wall_s,
+            logging_on_wall_s,
+            overhead_ratio: logging_on_wall_s / logging_off_wall_s.max(1e-9),
+            proof_additions: log.additions(),
+            proof_deletions: log.deletions(),
+            check_wall_s: start.elapsed().as_secs_f64(),
+            check_verified,
+        }
+    };
+
     // --- bit-parallel resimulation kernel -------------------------------
     // One row per (engine, thread count): the interpreter walks the graph
     // per block; the compiled engine runs the levelized fused-op
@@ -338,6 +392,20 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    {
+        let r = &proof_row;
+        let _ = writeln!(
+            json,
+            "  \"proof\": {{\"name\": \"php\", \"holes\": {php_holes}, \"reps\": {solver_reps}, \"logging_off_wall_s\": {:.6}, \"logging_on_wall_s\": {:.6}, \"overhead_ratio\": {:.4}, \"proof_additions\": {}, \"proof_deletions\": {}, \"check_wall_s\": {:.6}, \"check_verified\": {}}},",
+            r.logging_off_wall_s,
+            r.logging_on_wall_s,
+            r.overhead_ratio,
+            r.proof_additions,
+            r.proof_deletions,
+            r.check_wall_s,
+            r.check_verified
+        );
+    }
     json.push_str("  \"sim\": [\n");
     for (i, r) in sim_rows.iter().enumerate() {
         let _ = writeln!(

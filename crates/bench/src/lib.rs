@@ -14,6 +14,7 @@
 //! (`quick` | `standard` | `full`); binaries default to `standard`,
 //! criterion benches to `quick`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

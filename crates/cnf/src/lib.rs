@@ -21,6 +21,7 @@
 //! assert!(formula.num_clauses() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -5,9 +5,10 @@
 //! directly.
 //!
 //! ```text
-//! csat solve   <file.aag|file.aig> [--pipeline baseline|comp|ours] [--recipe "rs;rw"]
-//!              [--solver kissat|cadical] [--conflicts N] [--timeout-ms N]
+//! csat solve   <file.aag|file.aig|file.cnf> [--pipeline baseline|comp|ours] [--recipe "rs;rw"]
+//!              [--solver kissat|cadical] [--conflicts N] [--timeout-ms N] [--proof out.drat]
 //! csat encode  <file.aag|file.aig> [--pipeline ...] [-o out.cnf]
+//! csat check   <file.cnf> <proof.drat>
 //! csat stats   <file.aag|file.aig>
 //! csat fraig   <file.aag|file.aig> [--timeout-ms N] [-o out.aag]
 //! csat bmc     <file.aag> [--bound K] [--kind] [--preprocess none|synth|sweep|both]
@@ -18,10 +19,16 @@
 //! the bad signals) and runs the incremental `mc` engines: bounded model
 //! checking up to `--bound`, or k-induction with `--kind`.
 //!
+//! `solve` also accepts a DIMACS CNF directly (`.cnf`/`.dimacs`); with
+//! `--proof FILE` the solver logs every derived clause and, on UNSAT,
+//! writes a DRAT certificate that `csat check` (the independent backward
+//! RUP checker — no solver code shared) verifies against the formula.
+//!
 //! ## Exit codes
 //!
 //! `10` satisfiable / counterexample, `20` unsatisfiable / proved, `0`
-//! run completed without a verdict (e.g. BMC clean within its bound),
+//! run completed without a verdict (e.g. BMC clean within its bound, or
+//! `check` accepting a certificate), `1` certificate rejected,
 //! `30` resources exhausted (conflict budget or `--timeout-ms` deadline),
 //! `2` usage or input error. Every `solve`/`fraig`/`bmc` run emits one
 //! machine-readable `c resource-report ...` line on stderr.
@@ -35,7 +42,7 @@ use std::time::{Duration, Instant};
 use synth::Recipe;
 
 const USAGE: &str =
-    "usage: csat <solve|encode|stats|fraig|bmc|gen> <instance.aag|instance.aig> [options]
+    "usage: csat <solve|encode|check|stats|fraig|bmc|gen> <instance.aag|instance.aig> [options]
   --pipeline baseline|comp|ours   (default ours)
   --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)
   --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)
@@ -43,15 +50,19 @@ const USAGE: &str =
   --solver   kissat|cadical        (default kissat)
   --conflicts N                    conflict budget (default unlimited)
   --timeout-ms N                   wall-clock deadline; exhaustion exits 30
+  --proof FILE                     (solve) log DRAT; on UNSAT write the certificate
   -o FILE                          output path for 'encode'/'fraig'/'gen'
+solve also accepts a DIMACS formula directly (.cnf/.dimacs input)
+check: csat check <formula.cnf> <proof.drat>   verify a DRAT certificate
 bmc options (sequential .aag input, real POs = bad signals):
   --bound K                        frames to check / max induction strength (default 20)
   --kind                           prove by k-induction instead of plain BMC
   --preprocess none|synth|sweep|both  one-time transition-relation preprocessing
+  --certify                        re-check every UNSAT verdict with the RUP checker
 gen families:
   php <holes>                      pigeonhole circuit PHP(holes+1, holes), UNSAT
 exit codes: 10 sat/cex, 20 unsat/proved, 0 inconclusive-but-complete,
-            30 budget or deadline exhausted, 2 usage error";
+            1 certificate rejected, 30 budget or deadline exhausted, 2 usage error";
 
 /// Exit code for satisfiable instances / counterexamples found.
 const EXIT_SAT: u8 = 10;
@@ -59,6 +70,8 @@ const EXIT_SAT: u8 = 10;
 const EXIT_UNSAT: u8 = 20;
 /// Exit code when a conflict budget or wall-clock deadline ran out.
 const EXIT_RESOURCE: u8 = 30;
+/// Exit code when `csat check` rejects a certificate.
+const EXIT_NOT_VERIFIED: u8 = 1;
 /// Exit code for usage errors (bad flags, unreadable input, ...).
 const EXIT_USAGE: u8 = 2;
 
@@ -89,7 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         check_flags(
             &args[2..],
             &["--bound", "--conflicts", "--timeout-ms", "--preprocess"],
-            &["--kind"],
+            &["--kind", "--certify"],
         )?;
         return run_bmc(path, args);
     }
@@ -140,21 +153,89 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "--solver",
                     "--conflicts",
                     "--timeout-ms",
+                    "--proof",
                 ],
                 &["--sweep", "--presolve"],
             )?;
             run_solve(path, args)
         }
+        "check" => {
+            let proof = args.get(2).ok_or("check: missing proof path")?;
+            check_flags(&args[3..], &[], &[])?;
+            run_check(path, proof)
+        }
         other => Err(format!("unknown command '{other}'")),
     }
 }
 
-/// `csat solve`: preprocess and solve one combinational instance.
+/// Reads a DIMACS CNF file (the `.cnf`/`.dimacs` direct-solve path).
+fn load_cnf(path: &str) -> Result<cnf::Cnf, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    cnf::dimacs::read_dimacs(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// True for inputs `csat solve` treats as a DIMACS formula rather than an
+/// AIGER circuit.
+fn is_dimacs_path(path: &str) -> bool {
+    path.ends_with(".cnf") || path.ends_with(".dimacs")
+}
+
+/// Solves one CNF, optionally with DRAT proof logging (`--proof FILE`).
+///
+/// With logging on, presolve is automatically disabled — its derived and
+/// eliminated clauses carry no proof steps, so a certificate produced
+/// behind presolve would not refute the formula the user handed us. On
+/// UNSAT the certificate is written to `proof_out`; SAT and Unknown
+/// verdicts write nothing (a DRAT proof only ever certifies UNSAT).
+fn solve_cnf_cli(
+    f: &cnf::Cnf,
+    mut config: SolverConfig,
+    budget: Budget,
+    presolve: bool,
+    proof_out: Option<&str>,
+) -> Result<(sat::SolveResult, sat::Stats), String> {
+    if proof_out.is_none() {
+        let (res, stats) = if presolve {
+            sat::presolve::solve_cnf_presolved(
+                f,
+                config,
+                budget,
+                &sat::presolve::PresolveConfig::default(),
+            )
+        } else {
+            solve_cnf(f, config, budget)
+        };
+        return Ok((res, stats));
+    }
+    if presolve {
+        eprintln!("c presolve disabled: it does not emit proof steps (--proof is on)");
+    }
+    config.proof = true;
+    let mut solver = sat::Solver::from_cnf(f, config);
+    solver.set_budget(budget);
+    let res = solver.solve();
+    let stats = *solver.stats();
+    if res.is_unsat() {
+        let out = proof_out.expect("checked above");
+        let log = solver.proof().expect("proof logging was enabled");
+        std::fs::write(out, log.to_drat_string())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!(
+            "c proof: {} additions, {} deletions -> {out}",
+            log.additions(),
+            log.deletions()
+        );
+    } else if let Some(out) = proof_out {
+        eprintln!("c proof: verdict is not UNSAT, no certificate written to {out}");
+    }
+    Ok((res, stats))
+}
+
+/// `csat solve`: preprocess and solve one combinational instance, or
+/// solve a DIMACS formula directly (`.cnf`/`.dimacs` input).
 fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
-    let instance = load(path)?;
     let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
     let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let pipeline = make_pipeline(args, deadline)?;
     let solver = match value_of(args, "--solver")?.as_deref() {
         None | Some("kissat") => SolverConfig::kissat_like(),
         Some("cadical") => SolverConfig::cadical_like(),
@@ -165,18 +246,38 @@ fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
         ..Budget::UNLIMITED
     }
     .with_deadline(deadline);
+    let proof_out = value_of(args, "--proof")?;
+    let presolve = args.iter().any(|a| a == "--presolve");
+
+    if is_dimacs_path(path) {
+        for flag in ["--pipeline", "--recipe", "--sweep"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!(
+                    "{flag} applies to AIGER inputs, not a DIMACS formula"
+                ));
+            }
+        }
+        return run_solve_dimacs(
+            path,
+            budget,
+            solver,
+            presolve,
+            proof_out.as_deref(),
+            timeout_ms,
+        );
+    }
+
+    let instance = load(path)?;
+    let pipeline = make_pipeline(args, deadline)?;
     let t0 = Instant::now();
     let pre = pipeline.preprocess(&instance);
-    let (res, stats) = if args.iter().any(|a| a == "--presolve") {
-        sat::presolve::solve_cnf_presolved(
-            &pre.cnf,
-            solver,
-            budget,
-            &sat::presolve::PresolveConfig::default(),
-        )
-    } else {
-        solve_cnf(&pre.cnf, solver, budget)
-    };
+    if proof_out.is_some() {
+        eprintln!(
+            "c proof: certificate refers to the encoded CNF \
+             (reproduce it with 'csat encode' and identical pipeline flags)"
+        );
+    }
+    let (res, stats) = solve_cnf_cli(&pre.cnf, solver, budget, presolve, proof_out.as_deref())?;
     let dt = t0.elapsed();
     eprintln!(
         "c {}: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
@@ -228,6 +329,110 @@ fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
             // deadline fired, so it gets the resource exit code.
             println!("s UNKNOWN");
             Ok(ExitCode::from(EXIT_RESOURCE))
+        }
+    }
+}
+
+/// `csat solve` on a DIMACS formula: no pipeline, no AIG witness — the
+/// model is checked against the formula itself, and UNSAT verdicts can be
+/// certified with `--proof`.
+fn run_solve_dimacs(
+    path: &str,
+    budget: Budget,
+    config: SolverConfig,
+    presolve: bool,
+    proof_out: Option<&str>,
+    timeout_ms: Option<u64>,
+) -> Result<ExitCode, String> {
+    let f = load_cnf(path)?;
+    let t0 = Instant::now();
+    let (res, stats) = solve_cnf_cli(&f, config, budget, presolve, proof_out)?;
+    let dt = t0.elapsed();
+    eprintln!(
+        "c dimacs: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
+        f.num_vars(),
+        f.num_clauses(),
+        stats.decisions,
+        stats.conflicts
+    );
+    let status = match res {
+        sat::SolveResult::Sat(_) => "sat",
+        sat::SolveResult::Unsat => "unsat",
+        sat::SolveResult::Unknown => "unknown",
+    };
+    resource_report(
+        "solve",
+        status,
+        dt,
+        timeout_ms,
+        &[
+            ("conflicts", stats.conflicts),
+            ("deadline_interrupts", stats.deadline_interrupts),
+            ("cancellations", stats.cancellations),
+        ],
+    );
+    match res {
+        sat::SolveResult::Sat(model) => {
+            if !f.eval(&model) {
+                return Err("internal error: model does not satisfy the formula".into());
+            }
+            println!("s SATISFIABLE");
+            let lits: Vec<String> = (1..=f.num_vars())
+                .map(|v| {
+                    let val = model[(v - 1) as usize];
+                    if val {
+                        v.to_string()
+                    } else {
+                        format!("-{v}")
+                    }
+                })
+                .collect();
+            println!("v {} 0", lits.join(" "));
+            Ok(ExitCode::from(EXIT_SAT))
+        }
+        sat::SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            Ok(ExitCode::from(EXIT_UNSAT))
+        }
+        sat::SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            Ok(ExitCode::from(EXIT_RESOURCE))
+        }
+    }
+}
+
+/// `csat check`: verify a DRAT certificate against a DIMACS formula with
+/// the independent backward RUP checker. Exit 0 = verified, 1 = rejected,
+/// 2 = unreadable/malformed inputs.
+fn run_check(path: &str, proof_path: &str) -> Result<ExitCode, String> {
+    let f = load_cnf(path)?;
+    let text = std::fs::read_to_string(proof_path)
+        .map_err(|e| format!("cannot open {proof_path}: {e}"))?;
+    let proof =
+        checker::Proof::parse_drat(&text).map_err(|e| format!("cannot parse {proof_path}: {e}"))?;
+    let clauses: Vec<Vec<i32>> = f
+        .clauses()
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+        .collect();
+    let t0 = Instant::now();
+    match checker::check(&clauses, &proof) {
+        Ok(outcome) => {
+            eprintln!(
+                "c check: verified_adds={} skipped_adds={} core_formula={}/{} in {:?}",
+                outcome.verified_adds,
+                outcome.skipped_adds,
+                outcome.core_formula.len(),
+                f.num_clauses(),
+                t0.elapsed()
+            );
+            println!("s VERIFIED");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("c check: rejected after {:?}", t0.elapsed());
+            println!("s NOT VERIFIED ({e})");
+            Ok(ExitCode::from(EXIT_NOT_VERIFIED))
         }
     }
 }
@@ -344,6 +549,7 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
         machine.num_pos(),
         machine.comb().num_ands()
     );
+    let certify = args.iter().any(|a| a == "--certify");
     let t0 = Instant::now();
     let (cex, proved, frames) = if args.iter().any(|a| a == "--kind") {
         let opts = mc::KindOptions {
@@ -351,6 +557,7 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
             query_budget,
             deadline,
             preprocess,
+            certify,
         };
         match mc::prove(&machine, bound, &opts) {
             mc::KindResult::Proved { k } => {
@@ -372,6 +579,7 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
             query_budget,
             deadline,
             preprocess,
+            certify,
         };
         let mut engine = mc::BmcEngine::new(&machine, opts);
         let result = engine.check_frames(bound);

@@ -33,6 +33,7 @@
 //! println!("branchings: {}", stats.decisions);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

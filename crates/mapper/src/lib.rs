@@ -24,6 +24,7 @@
 //! assert!(net.num_luts() >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -14,7 +14,7 @@
 //! After an UNSAT answer the guard is retired with a unit clause and the
 //! *proved fact* `¬bad_t` is asserted, strengthening every later query.
 
-use crate::enc::{Enc, Val};
+use crate::enc::{certify_unsat, Enc, Val};
 use aig::seq::SeqAig;
 use cnf::CnfLit;
 use sat::{Budget, SolveResult, SolverConfig, Stats};
@@ -71,6 +71,12 @@ pub struct BmcOptions {
     pub deadline: Option<Instant>,
     /// One-time transition-relation preprocessing.
     pub preprocess: Preprocess,
+    /// Certified mode: the solver logs DRAT steps and every UNSAT frame
+    /// verdict is re-checked by the independent backward RUP checker
+    /// *before* its guard is retired (panicking on rejection). The
+    /// cumulative log is re-verified per frame, so this is a
+    /// test-harness/audit mode, not a production setting.
+    pub certify: bool,
 }
 
 /// Outcome of a [`BmcEngine::check_frames`] call.
@@ -159,6 +165,10 @@ pub struct BmcEngine {
     state: Vec<Val>,
     /// Frames proved property-clean so far (a prefix `0..clean_frames`).
     clean_frames: usize,
+    /// Certified mode ([`BmcOptions::certify`]).
+    certify: bool,
+    /// UNSAT frame verdicts whose certificates the checker accepted.
+    certified_queries: u64,
     /// Query interrupted by the budget, to resume instead of re-encoding.
     pending: Option<PendingQuery>,
     /// Counterexample, once found (the engine is then exhausted).
@@ -179,14 +189,20 @@ impl BmcEngine {
         let seq = opts.preprocess.apply(seq);
         let reach = seq.comb().reachable_from_pos();
         let state = vec![Val::Const(false); seq.num_latches()];
+        let mut solver_cfg = opts.solver;
+        // Certification needs the full DRAT log regardless of what the
+        // caller's solver config says.
+        solver_cfg.proof |= opts.certify;
         BmcEngine {
             reach,
-            enc: Enc::new(opts.solver),
+            enc: Enc::new(solver_cfg),
             query_budget: opts.query_budget,
             deadline: opts.deadline,
             frame_pis: Vec::new(),
             state,
             clean_frames: 0,
+            certify: opts.certify,
+            certified_queries: 0,
             pending: None,
             cex: None,
             seq,
@@ -213,6 +229,14 @@ impl BmcEngine {
     /// Cumulative statistics of the persistent solver.
     pub fn stats(&self) -> &Stats {
         self.enc.solver.stats()
+    }
+
+    /// UNSAT frame verdicts whose certificates the independent checker
+    /// accepted (always 0 unless [`BmcOptions::certify`] is set; frames
+    /// that constant-fold clean never reach the solver and are not
+    /// counted).
+    pub fn certified_queries(&self) -> u64 {
+        self.certified_queries
     }
 
     /// Ensures frames `0..frames` are checked, reusing all prior work.
@@ -290,6 +314,13 @@ impl BmcEngine {
                 })
             }
             SolveResult::Unsat => {
+                // Certify against the pre-retirement formula: once the
+                // `!act` unit lands, the query would be trivially
+                // refutable and the certificate would assert nothing.
+                if self.certify {
+                    certify_unsat(&self.enc.solver, &[query.act]);
+                    self.certified_queries += 1;
+                }
                 // Retire the guard and assert the proved fact: the bad
                 // signal cannot fire at this frame.
                 self.enc.solver.add_clause_cnf(&[!query.act]);
@@ -559,6 +590,51 @@ mod tests {
                 }
                 other => panic!("expected counterexample, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn certified_mode_verifies_every_unsat_frame() {
+        // The LEC product machine stays clean, so every frame verdict is
+        // an UNSAT answer that certified mode must back with a
+        // checker-accepted DRAT certificate (certify_unsat panics
+        // otherwise). The PIs keep each frame symbolic, so the queries
+        // genuinely reach the solver rather than constant-folding away.
+        let m = retimed_adder_lec(3);
+        let mut engine = BmcEngine::new(
+            &m,
+            BmcOptions {
+                certify: true,
+                ..BmcOptions::default()
+            },
+        );
+        assert_eq!(engine.check_frames(6), BmcResult::Clean { frames: 6 });
+        assert!(
+            engine.certified_queries() >= 1,
+            "symbolic frames must produce certified UNSAT verdicts"
+        );
+        // Certification must not change verdicts: the plain run agrees.
+        let mut plain = BmcEngine::new(&m, BmcOptions::default());
+        assert_eq!(plain.check_frames(6), BmcResult::Clean { frames: 6 });
+        assert_eq!(plain.certified_queries(), 0);
+    }
+
+    #[test]
+    fn certified_mode_reaches_the_same_counterexample() {
+        let m = counter(3);
+        let mut engine = BmcEngine::new(
+            &m,
+            BmcOptions {
+                certify: true,
+                ..BmcOptions::default()
+            },
+        );
+        match engine.check_frames(12) {
+            BmcResult::Cex { depth, trace } => {
+                assert_eq!(depth, 7);
+                assert!(m.simulate(&trace)[depth][0]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
         }
     }
 

@@ -24,7 +24,7 @@
 //! re-encoded, every learnt clause survives.
 
 use crate::bmc::{BmcEngine, BmcOptions, BmcResult, Preprocess};
-use crate::enc::{Enc, Val};
+use crate::enc::{certify_unsat, Enc, Val};
 use aig::seq::SeqAig;
 use cnf::CnfLit;
 use sat::{Budget, SolveResult, SolverConfig};
@@ -45,6 +45,11 @@ pub struct KindOptions {
     /// One-time transition-relation preprocessing (applied once, shared
     /// by both engines).
     pub preprocess: Preprocess,
+    /// Certified mode: both the base engine's UNSAT frame verdicts and
+    /// the step engine's UNSAT (= proof-closing) verdicts are re-checked
+    /// by the independent backward RUP checker, panicking on rejection.
+    /// Test-harness/audit mode — see [`BmcOptions::certify`].
+    pub certify: bool,
 }
 
 /// Outcome of a [`prove`] run.
@@ -100,6 +105,7 @@ pub fn prove(seq: &SeqAig, max_k: usize, opts: &KindOptions) -> KindResult {
             query_budget: opts.query_budget,
             deadline: opts.deadline,
             preprocess: Preprocess::None,
+            certify: opts.certify,
         },
     );
     let mut step = StepEngine::new(&seq, opts);
@@ -139,6 +145,8 @@ struct StepEngine {
     enc: Enc,
     query_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// Certified mode ([`KindOptions::certify`]).
+    certify: bool,
     /// `states[i]` = symbolic state entering frame `i` (`states[0]` free).
     states: Vec<Vec<Val>>,
     /// `bads[i]` = bad value of frame `i`.
@@ -154,7 +162,9 @@ struct StepEngine {
 impl StepEngine {
     fn new(seq: &SeqAig, opts: &KindOptions) -> StepEngine {
         let reach = seq.comb().reachable_from_pos();
-        let mut enc = Enc::new(opts.solver.clone());
+        let mut solver_cfg = opts.solver.clone();
+        solver_cfg.proof |= opts.certify;
+        let mut enc = Enc::new(solver_cfg);
         // s_0 is an arbitrary state: one fresh variable per latch.
         let s0: Vec<Val> = (0..seq.num_latches())
             .map(|_| Val::Lit(enc.fresh_lit()))
@@ -165,6 +175,7 @@ impl StepEngine {
             enc,
             query_budget: opts.query_budget,
             deadline: opts.deadline,
+            certify: opts.certify,
             states: vec![s0],
             bads: Vec::new(),
             clean_asserted: 0,
@@ -217,7 +228,16 @@ impl StepEngine {
                 );
                 match self.enc.solver.solve_with_assumptions(&[act]) {
                     SolveResult::Sat(_) => StepVerdict::Sat,
-                    SolveResult::Unsat => StepVerdict::Unsat,
+                    SolveResult::Unsat => {
+                        // An UNSAT step case closes the induction proof —
+                        // certify it before reporting (the guard is still
+                        // live: it is only retired on the next, never
+                        // reached, query).
+                        if self.certify {
+                            certify_unsat(&self.enc.solver, &[act]);
+                        }
+                        StepVerdict::Unsat
+                    }
                     SolveResult::Unknown => StepVerdict::Unknown,
                 }
             }
@@ -331,6 +351,30 @@ mod tests {
             KindResult::Cex { depth, trace } => {
                 assert!(m.simulate(&trace)[depth][0]);
             }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certified_mode_backs_base_and_step_verdicts() {
+        // Certified k-induction: every base-case UNSAT frame and the
+        // proof-closing step-case UNSAT are re-checked by the independent
+        // RUP checker (certify_unsat panics on rejection), and the
+        // verdict matches the uncertified run.
+        let m = mod_counter(3, 6);
+        let certified = KindOptions {
+            certify: true,
+            ..KindOptions::default()
+        };
+        match prove(&m, 8, &certified) {
+            KindResult::Proved { k } => assert!(k <= 3),
+            other => panic!("expected certified proof, got {other:?}"),
+        }
+        // Falsifiable property under certification: the base-case frames
+        // proved clean before the violation still certify.
+        let m = counter(3);
+        match prove(&m, 10, &certified) {
+            KindResult::Cex { depth, .. } => assert_eq!(depth, 7),
             other => panic!("expected counterexample, got {other:?}"),
         }
     }

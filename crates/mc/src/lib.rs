@@ -28,6 +28,7 @@
 //! assert!(prove(&mod_counter(3, 6), 8, &KindOptions::default()).is_proved());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -27,6 +27,7 @@
 //! # let _ = agent;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -16,6 +16,10 @@
 //! by [`ClauseDb::reloc`]: the first reference to reach a live record
 //! moves it to the new arena and leaves a forwarding offset behind, and
 //! every later reference follows that forward.
+// The only unsafe code in this crate lives here (the arena accessors and the propagate prefetch);
+// the crate root denies it everywhere else, and every block
+// carries a `// SAFETY:` comment (clippy-enforced).
+#![allow(unsafe_code)]
 
 use crate::types::{ClauseRef, Lit};
 
@@ -126,10 +130,10 @@ impl ClauseDb {
     pub fn lits(&self, r: ClauseRef) -> &[Lit] {
         let len = self.clause_len(r);
         let start = r.0 as usize + HEADER_WORDS;
-        // Bounds-check the whole range once, then cast: Lit is
-        // #[repr(transparent)] over u32, so &[u32] and &[Lit] have
-        // identical layout.
         let words = &self.data[start..start + len];
+        // SAFETY: the range was bounds-checked by the slice above, and Lit
+        // is #[repr(transparent)] over u32, so &[u32] and &[Lit] have
+        // identical layout.
         unsafe { &*(words as *const [u32] as *const [Lit]) }
     }
 

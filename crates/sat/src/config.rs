@@ -51,6 +51,13 @@ pub struct SolverConfig {
     pub phase_saving: bool,
     /// Polarity used before a variable has a saved phase.
     pub default_phase: bool,
+    /// Record a DRAT-style [`crate::proof::ProofLog`] of every derived
+    /// clause addition and deletion. Off by default; when off the solver
+    /// carries no log and pays nothing beyond a per-conflict `None` check.
+    /// Presolve does not emit proof steps, so certified pipelines must
+    /// solve the unpreprocessed formula (csat disables presolve under
+    /// `--proof`).
+    pub proof: bool,
 }
 
 impl SolverConfig {
@@ -65,6 +72,7 @@ impl SolverConfig {
             keep_lbd: 2,
             phase_saving: true,
             default_phase: false,
+            proof: false,
         }
     }
 
@@ -84,6 +92,7 @@ impl SolverConfig {
             keep_lbd: 3,
             phase_saving: true,
             default_phase: true,
+            proof: false,
         }
     }
 }

@@ -27,6 +27,7 @@
 //! assert!(stats.decisions <= 2);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -34,6 +35,7 @@ mod clause;
 mod config;
 mod heap;
 pub mod presolve;
+pub mod proof;
 pub mod reference;
 pub mod restart;
 mod solver;
@@ -41,5 +43,6 @@ mod stats;
 mod types;
 
 pub use config::{Budget, Cancellation, RestartStrategy, SolverConfig};
+pub use proof::{ProofLog, ProofStep};
 pub use solver::{solve_cnf, SolveResult, Solver};
 pub use stats::Stats;

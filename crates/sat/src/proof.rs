@@ -1,0 +1,151 @@
+//! Clausal (DRAT-style) proof logging.
+//!
+//! When [`crate::SolverConfig::proof`] is on, the solver records every
+//! clause it is *given* (the originals) and every clause it *derives or
+//! deletes* (the steps): learnt clauses of all three tiers (units,
+//! binary-tier two-literal learnts, arena clauses) with their
+//! post-minimization literal sets, input clauses whose stored form was
+//! strengthened by level-0 simplification, the empty clause on genuine
+//! UNSAT, and every `reduce_db` deletion. The resulting step list is a
+//! standard DRAT proof: an independent checker (the `checker` crate) can
+//! replay it by reverse unit propagation without trusting any solver code.
+//!
+//! Literals are stored in DIMACS convention (`±(var+1)` as `i32`), the
+//! lingua franca between solver, serialized `.drat` files, and checker.
+//!
+//! Queries that fail only under assumptions do not log an empty clause —
+//! the derived lemmas are implied by the original formula alone, so a
+//! consumer certifies such a verdict by checking
+//! `originals + one unit clause per assumption` against the steps plus an
+//! explicit terminal empty clause (see `checker::Proof::close`).
+
+use crate::types::Lit;
+
+/// One step of a clausal proof: a derived clause addition or a deletion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// True for deletion steps (`d` lines in DRAT), false for additions.
+    pub delete: bool,
+    /// The clause, as DIMACS literals (no terminating zero).
+    pub lits: Vec<i32>,
+}
+
+/// Accumulated proof log of one solver: original clauses plus derivation
+/// and deletion steps, in the order they happened.
+///
+/// Cloning a solver clones its log (sharded sweep oracles rely on this):
+/// each clone continues certifying independently from the shared prefix.
+#[derive(Clone, Debug, Default)]
+pub struct ProofLog {
+    originals: Vec<Vec<i32>>,
+    steps: Vec<ProofStep>,
+}
+
+fn to_dimacs(lits: &[Lit]) -> Vec<i32> {
+    lits.iter().map(|l| l.to_cnf().to_dimacs()).collect()
+}
+
+impl ProofLog {
+    /// Records an input clause exactly as the caller asserted it.
+    pub(crate) fn log_original(&mut self, lits: &[Lit]) {
+        self.originals.push(to_dimacs(lits));
+    }
+
+    /// Records a derived clause addition (learnt, strengthened input, or
+    /// the empty clause).
+    pub(crate) fn log_add(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep {
+            delete: false,
+            lits: to_dimacs(lits),
+        });
+    }
+
+    /// Records a clause deletion.
+    pub(crate) fn log_delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep {
+            delete: true,
+            lits: to_dimacs(lits),
+        });
+    }
+
+    /// The input clauses, in assertion order.
+    pub fn originals(&self) -> &[Vec<i32>] {
+        &self.originals
+    }
+
+    /// The derivation/deletion steps, in the order they happened.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of addition steps.
+    pub fn additions(&self) -> usize {
+        self.steps.iter().filter(|s| !s.delete).count()
+    }
+
+    /// Number of deletion steps.
+    pub fn deletions(&self) -> usize {
+        self.steps.iter().filter(|s| s.delete).count()
+    }
+
+    /// True once an empty-clause addition has been logged (the proof
+    /// certifies unconditional UNSAT from that point on).
+    pub fn has_empty_clause(&self) -> bool {
+        self.steps.iter().any(|s| !s.delete && s.lits.is_empty())
+    }
+
+    /// Serializes the steps as a textual DRAT proof (one clause per line,
+    /// zero-terminated, deletions prefixed with `d`).
+    pub fn to_drat_string(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            if step.delete {
+                out.push('d');
+                out.push(' ');
+            }
+            for l in &step.lits {
+                out.push_str(&l.to_string());
+                out.push(' ');
+            }
+            out.push('0');
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(v: Var, neg: bool) -> Lit {
+        let l = Lit::new(v, true);
+        if neg {
+            !l
+        } else {
+            l
+        }
+    }
+
+    #[test]
+    fn dimacs_conversion_and_serialization() {
+        let mut log = ProofLog::default();
+        log.log_original(&[lit(0, false), lit(1, true)]);
+        log.log_add(&[lit(1, true)]);
+        log.log_delete(&[lit(0, false), lit(1, true)]);
+        log.log_add(&[]);
+        assert_eq!(log.originals(), &[vec![1, -2]]);
+        assert_eq!(log.additions(), 2);
+        assert_eq!(log.deletions(), 1);
+        assert!(log.has_empty_clause());
+        assert_eq!(log.to_drat_string(), "-2 0\nd 1 -2 0\n0\n");
+    }
+
+    #[test]
+    fn empty_log_has_no_empty_clause() {
+        let log = ProofLog::default();
+        assert!(!log.has_empty_clause());
+        assert_eq!(log.to_drat_string(), "");
+    }
+}

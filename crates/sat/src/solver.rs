@@ -10,6 +10,7 @@
 use crate::clause::ClauseDb;
 use crate::config::{Budget, SolverConfig};
 use crate::heap::VarHeap;
+use crate::proof::ProofLog;
 use crate::restart::RestartPolicy;
 use crate::stats::Stats;
 use crate::types::{ClauseRef, LBool, Lit, Reason, Var};
@@ -130,6 +131,11 @@ pub struct Solver {
 
     /// False once the formula is known UNSAT at level 0.
     ok: bool,
+    /// DRAT-style certificate sink, present iff `config.proof`. Boxed so
+    /// the disabled case costs one null-check at clause add/learn/delete
+    /// sites (conflict rate, never the propagation hot path) and no space
+    /// beyond a pointer.
+    proof: Option<Box<ProofLog>>,
     /// Steps until the next deadline/cancellation poll (see
     /// [`INTERRUPT_CHECK_PERIOD`]). Re-armed at 1 by every solve so a
     /// pre-expired deadline or pre-raised token is noticed before any
@@ -147,6 +153,7 @@ impl Solver {
     pub fn new(config: SolverConfig) -> Solver {
         let restart = RestartPolicy::new(config.restart);
         let next_reduce = config.reduce_first;
+        let proof = config.proof.then(Box::<ProofLog>::default);
         Solver {
             config,
             budget: Budget::UNLIMITED,
@@ -170,6 +177,7 @@ impl Solver {
             next_reduce,
             reduce_count: 0,
             ok: true,
+            proof,
             interrupt_countdown: 1,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
@@ -192,6 +200,18 @@ impl Solver {
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The accumulated proof log, if [`SolverConfig::proof`] was on.
+    ///
+    /// The log spans the solver's whole life: all original clauses ever
+    /// asserted plus every derivation/deletion, across incremental
+    /// queries. An UNSAT verdict under `assumptions` is certified by
+    /// checking `originals + one unit clause per assumption` against the
+    /// steps (see the `checker` crate); a plain UNSAT ends with a logged
+    /// empty clause.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
     }
 
     /// Number of variables known to the solver.
@@ -243,6 +263,9 @@ impl Solver {
         if !self.ok {
             return;
         }
+        if let Some(p) = self.proof.as_deref_mut() {
+            p.log_original(&lits);
+        }
         let max_var = lits.iter().map(|l| l.var() as usize + 1).max().unwrap_or(0);
         self.ensure_vars(max_var);
 
@@ -250,6 +273,7 @@ impl Solver {
         // satisfied clauses under the level-0 assignment.
         lits.sort_unstable();
         lits.dedup();
+        let deduped_len = lits.len();
         let mut simplified = Vec::with_capacity(lits.len());
         let mut i = 0;
         while i < lits.len() {
@@ -264,11 +288,24 @@ impl Solver {
             }
             i += 1;
         }
+        // Level-0 simplification strengthened the clause (dropped false
+        // literals): the stored form is itself a derived clause — log it so
+        // the certificate derives everything the solver actually uses. It
+        // is RUP via the level-0 units that falsified the dropped literals.
+        if simplified.len() < deduped_len {
+            if let Some(p) = self.proof.as_deref_mut() {
+                p.log_add(&simplified);
+            }
+        }
         match simplified.len() {
-            0 => self.ok = false,
+            0 => {
+                self.log_empty_clause();
+                self.ok = false;
+            }
             1 => {
                 self.unchecked_enqueue(simplified[0], Reason::Decision);
                 if self.propagate().is_some() {
+                    self.log_empty_clause();
                     self.ok = false;
                 }
             }
@@ -276,6 +313,16 @@ impl Solver {
             _ => {
                 let cref = self.db.add(&simplified, false, 0);
                 self.attach(cref);
+            }
+        }
+    }
+
+    /// Logs the empty-clause addition that closes a proof (level-0
+    /// conflict: the formula is unconditionally UNSAT).
+    fn log_empty_clause(&mut self) {
+        if let Some(p) = self.proof.as_deref_mut() {
+            if !p.has_empty_clause() {
+                p.log_add(&[]);
             }
         }
     }
@@ -693,6 +740,10 @@ impl Solver {
         });
         let to_delete = candidates.len() / 2;
         for &r in &candidates[..to_delete] {
+            if self.proof.is_some() {
+                let lits: Vec<Lit> = self.db.lits(r).to_vec();
+                self.proof.as_deref_mut().unwrap().log_delete(&lits);
+            }
             self.detach(r);
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
@@ -790,7 +841,10 @@ impl Solver {
     /// size matches the attached-binary count; every clause reason is a
     /// live arena clause whose slot-0 literal is the implied one; every
     /// binary reason's antecedent is false and its clause is present in
-    /// the binary tier.
+    /// the binary tier. With proof logging on, additionally audits the
+    /// certificate: every live arena clause and binary-tier edge is
+    /// either an original clause or a logged derivation, and the logged
+    /// deletion count matches the database's.
     #[doc(hidden)]
     pub fn assert_integrity(&self) {
         let mut watch_count: std::collections::HashMap<ClauseRef, usize> =
@@ -884,6 +938,58 @@ impl Solver {
                 }
             }
         }
+        // Proof-log audit: with logging on, every clause the solver can
+        // still use — live arena clauses and binary-tier edges — must be
+        // accounted for in the certificate, either as an original clause
+        // or as a logged addition (learnts of every tier, level-0
+        // strengthened inputs). Compared as sorted literal sets: watch
+        // reordering permutes stored clauses but never changes their
+        // literal set. Deletion steps must match reduce_db's count —
+        // together with the watcher checks above ("watcher points at a
+        // deleted clause") this pins the log to the live database.
+        if let Some(log) = self.proof.as_deref() {
+            let norm = |lits: Vec<i32>| {
+                let mut v = lits;
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let mut derivable: std::collections::HashSet<Vec<i32>> =
+                std::collections::HashSet::new();
+            for c in log.originals() {
+                derivable.insert(norm(c.clone()));
+            }
+            let mut deletions = 0u64;
+            for s in log.steps() {
+                if s.delete {
+                    deletions += 1;
+                } else {
+                    derivable.insert(norm(s.lits.clone()));
+                }
+            }
+            assert_eq!(
+                deletions, self.stats.deleted_clauses,
+                "every clause deletion must be logged"
+            );
+            let key = |lits: &[Lit]| norm(lits.iter().map(|l| l.to_cnf().to_dimacs()).collect());
+            for r in self.db.iter_refs() {
+                let k = key(self.db.lits(r));
+                assert!(
+                    derivable.contains(&k),
+                    "arena clause {k:?} has no logged derivation"
+                );
+            }
+            for idx in 0..self.binary_watches.len() {
+                let lit = Lit::from_index(idx);
+                for &other in &self.binary_watches[idx] {
+                    let k = key(&[!lit, other]);
+                    assert!(
+                        derivable.contains(&k),
+                        "binary clause {k:?} has no logged derivation"
+                    );
+                }
+            }
+        }
     }
 
     fn budget_exhausted(&self) -> bool {
@@ -963,6 +1069,7 @@ impl Solver {
         self.interrupt_countdown = 1;
         // Top-level propagation of any pending units.
         if self.propagate().is_some() {
+            self.log_empty_clause();
             self.ok = false;
             return SolveResult::Unsat;
         }
@@ -970,11 +1077,20 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
+                    self.log_empty_clause();
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt, lbd) = self.analyze(confl);
                 self.backtrack(bt);
+                // Learnt clauses are RUP with respect to the original
+                // formula plus earlier lemmas — even under assumptions,
+                // which act as plain decisions; analysis resolves only
+                // reason clauses. Logged post-minimization, exactly as
+                // stored, for every tier including binary learnts.
+                if let Some(p) = self.proof.as_deref_mut() {
+                    p.log_add(&learnt);
+                }
                 match learnt.len() {
                     1 => self.unchecked_enqueue(learnt[0], Reason::Decision),
                     2 => {

@@ -91,6 +91,13 @@ pub struct FraigParams {
     /// default and the production setting — injects nothing and leaves
     /// every path untouched. See [`ChaosPlan`].
     pub chaos: Option<ChaosPlan>,
+    /// Checked mode: every oracle runs with proof logging on, and every
+    /// UNSAT answer — the verdicts merges rest on — is verified by the
+    /// independent `checker` crate before the merge is accepted; a
+    /// rejected certificate panics the sweep. Each verification re-checks
+    /// the shard's cumulative log, so this is a test-harness/audit mode,
+    /// not a production default. Default `false`.
+    pub certify: bool,
 }
 
 /// Deterministic fault-injection plan for the sweep's oracle layer — the
@@ -175,6 +182,7 @@ impl Default for FraigParams {
             compiled_sim: true,
             deadline: None,
             chaos: None,
+            certify: false,
         }
     }
 }
@@ -201,6 +209,9 @@ pub struct FraigStats {
     /// Shard workers that panicked and were contained; their unanswered
     /// pairs degraded to `Undecided` and their oracles were rebuilt.
     pub shard_failures: u64,
+    /// UNSAT merge verdicts verified by the independent proof checker
+    /// (equals `proved` when [`FraigParams::certify`] is on; 0 otherwise).
+    pub certified: u64,
 }
 
 /// Result of a [`fraig`] run.
@@ -263,7 +274,13 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     // carry over between a shard's queries; per-query miter gadgets are
     // guarded by activation literals (assumed for the query, retired by a
     // unit).
-    let base_solver = Solver::from_cnf(&base_cnf, SolverConfig::default());
+    let base_solver = Solver::from_cnf(
+        &base_cnf,
+        SolverConfig {
+            proof: params.certify,
+            ..SolverConfig::default()
+        },
+    );
     let base_vars = base_cnf.num_vars();
     let mut oracles: Vec<Option<PairOracle>> = (0..shards).map(|_| None).collect();
 
@@ -383,6 +400,11 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
             match answer {
                 Answer::Equivalent => {
                     stats.proved += 1;
+                    if params.certify {
+                        // prove_pair verified the certificate (or panicked)
+                        // before reporting Equivalent.
+                        stats.certified += 1;
+                    }
                     equiv[task.member as usize] = Some(Lit::from_var(task.repr, task.phase));
                 }
                 Answer::Different(pattern) => {
@@ -554,14 +576,24 @@ impl PairOracle {
                 self.solver.add_clause_cnf(&[!s, a, b]);
                 self.solver.add_clause_cnf(&[!s, !a, !b]);
                 let r = self.solver.solve_with_assumptions(&[s]);
+                if params.certify && r.is_unsat() {
+                    // Certify against the pre-retirement formula: once the
+                    // `!s` unit lands, `s` would be trivially refutable and
+                    // the check would prove nothing about the miter.
+                    self.certify_unsat(&[s]);
+                }
                 // Retire the gadget so later queries never revisit it.
                 self.solver.add_clause_cnf(&[!s]);
                 r
             }
             None => {
                 // repr is the constant node: test `member ≠ phase`.
-                self.solver
-                    .solve_with_assumptions(&[if phase { !a } else { a }])
+                let assumption = if phase { !a } else { a };
+                let r = self.solver.solve_with_assumptions(&[assumption]);
+                if params.certify && r.is_unsat() {
+                    self.certify_unsat(&[assumption]);
+                }
+                r
             }
         };
         // Paranoia: the oracle leans on incremental solving — gadget
@@ -578,6 +610,25 @@ impl PairOracle {
                 deadline_interrupted: self.solver.stats().deadline_interrupts
                     > deadline_interrupts_before,
             },
+        }
+    }
+
+    /// Verifies the solver's UNSAT-under-assumptions verdict with the
+    /// independent RUP checker: the certificate is the oracle's cumulative
+    /// proof log, checked against its cumulative originals plus the
+    /// query's assumptions as unit clauses. Panics if rejected — a merge
+    /// justified by an unverifiable UNSAT answer must never be applied.
+    fn certify_unsat(&self, assumptions: &[CnfLit]) {
+        let log = self
+            .solver
+            .proof()
+            .expect("certify mode constructs oracles with proof logging on");
+        let formula = log.originals().to_vec();
+        let assumed: Vec<i32> = assumptions.iter().map(|&l| l.to_dimacs()).collect();
+        let proof =
+            checker::Proof::from_steps(log.steps().iter().map(|s| (s.delete, s.lits.clone())));
+        if let Err(e) = checker::check_with_assumptions(&formula, &assumed, &proof) {
+            panic!("sweep oracle UNSAT merge verdict failed certification: {e}");
         }
     }
 }

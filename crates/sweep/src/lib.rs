@@ -42,6 +42,7 @@
 //! assert_eq!(outcome.aig.pos()[0], aig::Lit::FALSE); // proved constant
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

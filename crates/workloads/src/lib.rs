@@ -29,6 +29,7 @@
 //! assert!(set.iter().all(|i| i.aig.num_pos() == 1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

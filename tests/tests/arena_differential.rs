@@ -2,8 +2,14 @@
 //! CDCL solver against the DPLL reference on generated corpora, plus
 //! GC-under-load checks that force clause-database reductions mid-solve
 //! and assert the watch/reason invariants survive arena compaction.
+//!
+//! UNSAT verdicts get a second, independent witness: they are routed
+//! through the `checker` crate's backward RUP checker (via
+//! [`csat_tests::solve_certified`] / [`csat_tests::assert_certified_unsat`])
+//! rather than resting on DPLL-reference agreement alone.
 
 use cnf::{Cnf, CnfLit};
+use csat_tests::{assert_certified_unsat, solve_certified};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sat::{reference::dpll_sat, solve_cnf, Budget, SolveResult, Solver, SolverConfig};
@@ -43,7 +49,7 @@ fn arena_agrees_with_reference_on_seed_corpus() {
     for inst in &set {
         let (formula, map) = cnf::tseitin_sat_instance(&inst.aig);
         for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
-            let (res, _) = solve_cnf(&formula, cfg, Budget::UNLIMITED);
+            let res = solve_certified(&formula, cfg);
             if let Some(expected) = inst.expected {
                 assert_eq!(res.is_sat(), expected, "{}", inst.name);
             }
@@ -64,7 +70,7 @@ fn arena_agrees_with_dpll_on_random_mixed_formulas() {
         let m = rng.gen_range(4..=(n as usize * 6));
         let f = random_cnf(&mut rng, n, m, 4);
         let expected = dpll_sat(&f);
-        let (res, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        let res = solve_certified(&f, SolverConfig::default());
         assert_eq!(res.is_sat(), expected, "iter {iter}");
         if let SolveResult::Sat(model) = &res {
             assert!(f.eval(model), "iter {iter}: invalid model");
@@ -82,7 +88,7 @@ proptest! {
         let f = random_cnf(&mut rng, n, m, 3);
         let expected = dpll_sat(&f);
         for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
-            let (res, _) = solve_cnf(&f, cfg, Budget::UNLIMITED);
+            let res = solve_certified(&f, cfg);
             prop_assert_eq!(res.is_sat(), expected);
             if let SolveResult::Sat(model) = &res {
                 prop_assert!(f.eval(model), "invalid model");
@@ -104,10 +110,17 @@ fn binary_tier_agrees_with_dpll_on_random_2sat() {
         let f = random_cnf(&mut rng, n, m, 2);
         let expected = dpll_sat(&f);
         for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
+            let mut cfg = cfg;
+            cfg.proof = true;
             let mut solver = Solver::from_cnf(&f, cfg);
             let res = solver.solve();
             solver.assert_integrity();
             assert_eq!(res.is_sat(), expected, "iter {iter}");
+            if res.is_unsat() {
+                // Binary-tier learnts (2-literal, inline) must show up in
+                // the certificate like any other lemma.
+                assert_certified_unsat(&solver, &[]);
+            }
             if let SolveResult::Sat(model) = &res {
                 assert!(f.eval(model), "iter {iter}: invalid model");
             }
@@ -152,10 +165,15 @@ fn binary_tier_handles_chains_and_implication_cycles() {
     g.add_clause(vec![CnfLit::neg(8), CnfLit::neg(1)]);
     g.add_unit(CnfLit::pos(1));
     assert!(!dpll_sat(&g));
-    let mut s = Solver::from_cnf(&g, SolverConfig::default());
+    let cfg = SolverConfig {
+        proof: true,
+        ..Default::default()
+    };
+    let mut s = Solver::from_cnf(&g, cfg);
     let res = s.solve();
     s.assert_integrity();
     assert!(res.is_unsat(), "contradictory implication cycle");
+    assert_certified_unsat(&s, &[]);
 }
 
 #[test]
@@ -167,6 +185,7 @@ fn mixed_binary_and_long_clauses_reduce_and_collect_soundly() {
     let mut cfg = SolverConfig::kissat_like();
     cfg.reduce_first = 50;
     cfg.reduce_increment = 25;
+    cfg.proof = true;
     for iter in 0..40 {
         let n = rng.gen_range(8..=16);
         let mut f = Cnf::new();
@@ -188,6 +207,11 @@ fn mixed_binary_and_long_clauses_reduce_and_collect_soundly() {
         let res = solver.solve();
         solver.assert_integrity();
         assert_eq!(res.is_sat(), expected, "iter {iter}");
+        if res.is_unsat() {
+            // The log must survive reduce_db churn: deletions are steps
+            // too, and the checker replays them.
+            assert_certified_unsat(&solver, &[]);
+        }
         if let SolveResult::Sat(model) = &res {
             assert!(f.eval(model), "iter {iter}: invalid model");
         }
@@ -202,6 +226,7 @@ fn gc_under_load_keeps_watches_and_reasons_intact() {
     let mut cfg = SolverConfig::kissat_like();
     cfg.reduce_first = 60;
     cfg.reduce_increment = 30;
+    cfg.proof = true;
     let mut solver = Solver::from_cnf(&pigeonhole(7), cfg);
     solver.assert_integrity();
     let mut verdict = None;
@@ -218,6 +243,9 @@ fn gc_under_load_keeps_watches_and_reasons_intact() {
     let stats = solver.stats();
     assert!(stats.gcs > 0, "reduction cadence must trigger arena GC");
     assert!(stats.deleted_clauses > 0, "reduction must delete clauses");
+    // The certificate survived budget interruptions, reductions, AND
+    // arena GC — the independent checker signs off on the whole history.
+    assert_certified_unsat(&solver, &[]);
 }
 
 #[test]
@@ -228,6 +256,7 @@ fn gc_under_load_incremental_queries_stay_sound() {
     let mut cfg = SolverConfig::cadical_like();
     cfg.reduce_first = 40;
     cfg.reduce_increment = 20;
+    cfg.proof = true;
     let f = random_cnf(&mut rng, 16, 70, 3);
     let mut solver = Solver::from_cnf(&f, cfg);
     for iter in 0..30 {
@@ -246,6 +275,11 @@ fn gc_under_load_incremental_queries_stay_sound() {
             f_units.add_unit(l);
         }
         assert_eq!(res.is_sat(), dpll_sat(&f_units), "iter {iter}");
+        if res.is_unsat() {
+            // Assumption-UNSAT certificates: formula + assumption units
+            // must refute, via the cumulative incremental log.
+            assert_certified_unsat(&solver, &assumptions);
+        }
         if let SolveResult::Sat(model) = &res {
             assert!(f_units.eval(model), "iter {iter}: model breaks assumptions");
         }

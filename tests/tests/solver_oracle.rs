@@ -1,8 +1,16 @@
 //! Differential testing of the CDCL solver at integration scale: random
 //! CNFs against the DPLL oracle, circuit CNFs against semantic ground
 //! truth, budget semantics, and preset agreement.
+//!
+//! UNSAT verdicts are never taken on faith — neither the CDCL solver's
+//! nor the DPLL reference's: every unsatisfiable case is routed through
+//! [`csat_tests::solve_certified`] / [`csat_tests::assert_certified_unsat`],
+//! which demand a certificate the independent backward RUP checker
+//! accepts, giving a second witness that shares no code with either
+//! solver.
 
 use cnf::{Cnf, CnfLit};
+use csat_tests::{assert_certified_unsat, solve_certified};
 use rand::{Rng, SeedableRng};
 use sat::{reference::dpll_sat, solve_cnf, Budget, SolveResult, Solver, SolverConfig};
 use workloads::dataset::{generate, DatasetParams};
@@ -35,7 +43,10 @@ fn agrees_with_dpll_oracle_on_400_random_formulas() {
         let f = random_cnf(&mut rng, n, m, 3);
         let expected = dpll_sat(&f);
         for cfg in [SolverConfig::kissat_like(), SolverConfig::cadical_like()] {
-            let (res, _) = solve_cnf(&f, cfg, Budget::UNLIMITED);
+            // solve_certified panics unless any UNSAT answer carries a
+            // checker-verified certificate — the independent witness
+            // backing the DPLL agreement below.
+            let res = solve_certified(&f, cfg);
             match (&res, expected) {
                 (SolveResult::Sat(model), true) => assert!(f.eval(model), "iter {iter}"),
                 (SolveResult::Unsat, false) => {}
@@ -53,7 +64,7 @@ fn mixed_length_clauses_cross_checked() {
         let m = rng.gen_range(5..=40);
         let f = random_cnf(&mut rng, n, m, 5);
         let expected = dpll_sat(&f);
-        let (res, _) = solve_cnf(&f, SolverConfig::default(), Budget::UNLIMITED);
+        let res = solve_certified(&f, SolverConfig::default());
         assert_eq!(res.is_sat(), expected, "iter {iter}");
     }
 }
@@ -74,6 +85,11 @@ fn verdicts_match_instance_labels() {
         let (res, stats) = solve_cnf(&formula, SolverConfig::cadical_like(), Budget::UNLIMITED);
         if let Some(expected) = inst.expected {
             assert_eq!(res.is_sat(), expected, "{}", inst.name);
+        }
+        if res.is_unsat() {
+            // The label said UNSAT and the solver agreed — demand the
+            // independent checker's signature on top.
+            solve_certified(&formula, SolverConfig::cadical_like());
         }
         if let SolveResult::Sat(model) = &res {
             let ins = map.decode_inputs(model);
@@ -101,7 +117,9 @@ fn budget_is_respected_and_resumable() {
             }
         }
     }
-    let mut solver = Solver::from_cnf(&f, SolverConfig::kissat_like());
+    let mut config = SolverConfig::kissat_like();
+    config.proof = true;
+    let mut solver = Solver::from_cnf(&f, config);
     solver.set_budget(Budget::conflicts(50));
     assert_eq!(
         solver.solve(),
@@ -109,9 +127,12 @@ fn budget_is_respected_and_resumable() {
         "tiny budget must interrupt"
     );
     assert!(solver.stats().conflicts >= 50);
-    // Lifting the budget and re-solving completes the proof.
+    // Lifting the budget and re-solving completes the proof — and the
+    // certificate, which spans both the interrupted and the resumed
+    // search, must still satisfy the independent checker.
     solver.set_budget(Budget::UNLIMITED);
     assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_certified_unsat(&solver, &[]);
 }
 
 #[test]
