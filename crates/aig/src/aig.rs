@@ -371,6 +371,78 @@ impl Aig {
         self.nodes == other.nodes && self.pis == other.pis && self.pos == other.pos
     }
 
+    /// Extracts the **normalized query cone**: the PO-reachable subgraph
+    /// rebuilt with dangling PIs dropped, kept PIs in their original
+    /// relative order, and ANDs in the original topological order.
+    ///
+    /// This is the canonical form the serving layer keys its verdict cache
+    /// on: two queries whose logic cones are structurally identical
+    /// normalize to [`Aig::same_structure`]-equal graphs (and therefore
+    /// equal [`Aig::structural_hash`] keys) even when they arrive embedded
+    /// in different instances or padded with unused inputs.
+    ///
+    /// Returns the cone and a map from cone PI index to the original PI
+    /// index, so witnesses found on the cone can be expanded back to the
+    /// full input space.
+    pub fn normalized_cone(&self) -> (Aig, Vec<usize>) {
+        let mark = self.reachable_from_pos();
+        let mut cone = Aig::with_capacity(self.nodes.len());
+        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        map[0] = Some(Lit::FALSE);
+        let mut pi_map = Vec::new();
+        for (i, &pi) in self.pis.iter().enumerate() {
+            if mark[pi as usize] {
+                map[pi as usize] = Some(cone.add_pi());
+                pi_map.push(i);
+            }
+        }
+        for v in self.iter_ands() {
+            if !mark[v as usize] {
+                continue;
+            }
+            let n = &self.nodes[v as usize];
+            let f0 = map[n.fanin0.var() as usize].expect("fanin of reachable node reachable");
+            let f1 = map[n.fanin1.var() as usize].expect("fanin of reachable node reachable");
+            map[v as usize] = Some(cone.and(
+                f0.xor_compl(n.fanin0.is_compl()),
+                f1.xor_compl(n.fanin1.is_compl()),
+            ));
+        }
+        for &po in &self.pos {
+            let l = map[po.var() as usize].expect("PO driver reachable");
+            cone.add_po(l.xor_compl(po.is_compl()));
+        }
+        (cone, pi_map)
+    }
+
+    /// Deterministic structural hash of the graph: a function of the PI
+    /// count, the node array (fanin literals in index order), and the PO
+    /// literals — exactly the fields [`Aig::same_structure`] compares, so
+    /// structurally identical graphs always hash equal. Collisions are
+    /// possible (it is a 64-bit digest); cache users must confirm a hit
+    /// with `same_structure` before trusting it.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let lit_key = |l: Lit| ((l.var() as u64) << 1) | l.is_compl() as u64;
+        let mut h = crate::hash::FastHasher::default();
+        h.write_u64(self.pis.len() as u64);
+        h.write_u64(self.nodes.len() as u64);
+        for v in self.iter_vars() {
+            let n = &self.nodes[v as usize];
+            if n.is_and() {
+                h.write_u64((lit_key(n.fanin0) << 32) | lit_key(n.fanin1));
+            } else {
+                // PI/constant marker: distinguishes a leaf at index v from
+                // an AND whose fanin words happen to collide.
+                h.write_u64(u64::MAX);
+            }
+        }
+        for &po in &self.pos {
+            h.write_u64(lit_key(po));
+        }
+        h.finish()
+    }
+
     /// Evaluates the graph on one Boolean input assignment.
     ///
     /// Returns the value of every PO.
@@ -653,5 +725,63 @@ mod tests {
         assert_eq!(g.pi_index(a.var()), Some(0));
         assert_eq!(g.pi_index(b.var()), Some(1));
         assert_eq!(g.pi_index(x.var()), None);
+    }
+
+    #[test]
+    fn normalized_cone_drops_dangling_pis_and_maps_back() {
+        // g: 4 PIs, only PIs 1 and 3 feed the PO.
+        let mut g = Aig::new();
+        let pis = g.add_pis(4);
+        let dead = g.and(pis[0], pis[2]); // unreachable from the PO
+        let _ = dead;
+        let f = g.and(pis[1], !pis[3]);
+        g.add_po(f);
+        let (cone, pi_map) = g.normalized_cone();
+        assert_eq!(cone.num_pis(), 2);
+        assert_eq!(pi_map, vec![1, 3]);
+        assert_eq!(cone.num_ands(), 1);
+        assert_eq!(cone.num_pos(), 1);
+        // Same function over the kept inputs.
+        for p in 0..4usize {
+            let cone_ins = vec![p & 1 != 0, p & 2 != 0];
+            let mut full_ins = vec![false; 4];
+            full_ins[1] = cone_ins[0];
+            full_ins[3] = cone_ins[1];
+            assert_eq!(cone.eval(&cone_ins), g.eval(&full_ins));
+        }
+    }
+
+    #[test]
+    fn structural_hash_tracks_same_structure() {
+        let build = |compl: bool| {
+            let mut g = Aig::new();
+            let a = g.add_pi();
+            let b = g.add_pi();
+            let f = g.and(a, b.xor_compl(compl));
+            g.add_po(f);
+            g
+        };
+        let g1 = build(false);
+        let g2 = build(false);
+        let g3 = build(true);
+        assert!(g1.same_structure(&g2));
+        assert_eq!(g1.structural_hash(), g2.structural_hash());
+        assert!(!g1.same_structure(&g3));
+        assert_ne!(g1.structural_hash(), g3.structural_hash());
+        // Embedding the same cone among dangling PIs must not change the
+        // normalized key.
+        let mut padded = Aig::new();
+        let _spare = padded.add_pi();
+        let a = padded.add_pi();
+        let b = padded.add_pi();
+        let f = padded.and(a, b);
+        padded.add_po(f);
+        let (cone, pi_map) = padded.normalized_cone();
+        assert!(cone.same_structure(&g1.normalized_cone().0));
+        assert_eq!(
+            cone.structural_hash(),
+            g1.normalized_cone().0.structural_hash()
+        );
+        assert_eq!(pi_map, vec![1, 2]);
     }
 }

@@ -351,6 +351,76 @@ fn main() {
         }
     };
 
+    // --- serve: concurrent query engine throughput ----------------------
+    // A regression-shaped LEC stream: one base adder pair plus a few
+    // function-preserving restructured near-duplicates, each submitted
+    // repeatedly. Repeats of an already-answered cone are cache hits (the
+    // UNSAT certificate re-verifies once, then the hit is free); the
+    // near-duplicates are distinct cache keys and solve live. Each worker
+    // count gets a fresh engine with a cold cache, so rows are comparable:
+    // qps folds solve + certificate-check + cache-service time together.
+    // A clean run must report zero sheds/retries/failures — nonzero means
+    // the row was degraded and CI's perf-smoke job fails the build.
+    let (serve_bits, serve_queries, serve_variants) = if smoke { (3, 12, 3) } else { (6, 48, 3) };
+    struct ServeRow {
+        workers: usize,
+        queries: usize,
+        wall_s: f64,
+        qps: f64,
+        cache_hits: u64,
+        cache_hit_rate: f64,
+        certs_verified: u64,
+        retries: u64,
+        sheds: u64,
+        failures: u64,
+    }
+    let serve_rows: Vec<ServeRow> = {
+        use serve::{Engine, EngineConfig, Query, QueryOpts};
+        use workloads::lec::restructure;
+        let a = ripple_carry_adder(serve_bits).aig;
+        let b = carry_lookahead_adder(serve_bits).aig;
+        let pairs: Vec<(aig::Aig, aig::Aig)> = std::iter::once(b.clone())
+            .chain((0..serve_variants as u64).map(|v| restructure(&b, 0x5e12_0000 + v)))
+            .map(|rhs| (a.clone(), rhs))
+            .collect();
+        let stream: Vec<(Query, QueryOpts)> = (0..serve_queries)
+            .map(|i| {
+                let (l, r) = &pairs[i % pairs.len()];
+                (Query::Lec(l.clone(), r.clone()), QueryOpts::default())
+            })
+            .collect();
+        thread_counts
+            .iter()
+            .map(|&workers| {
+                let engine = Engine::new(EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                });
+                let start = Instant::now();
+                let responses = engine.run_batch(&stream);
+                let wall_s = start.elapsed().as_secs_f64();
+                assert!(
+                    responses.iter().all(|r| r.verdict.is_unsat()),
+                    "the adder LEC stream is all-UNSAT"
+                );
+                let stats = engine.stats();
+                engine.shutdown();
+                ServeRow {
+                    workers,
+                    queries: serve_queries,
+                    wall_s,
+                    qps: serve_queries as f64 / wall_s.max(1e-9),
+                    cache_hits: stats.cache.hits,
+                    cache_hit_rate: stats.cache.hits as f64 / serve_queries as f64,
+                    certs_verified: stats.cache.certs_verified,
+                    retries: stats.retries,
+                    sheds: stats.sheds,
+                    failures: stats.failures,
+                }
+            })
+            .collect()
+    };
+
     // --- report ---------------------------------------------------------
     let total_props: u64 = solver_rows.iter().map(|r| r.propagations).sum();
     let total_solver_wall: f64 = solver_rows.iter().map(|r| r.wall_s).sum();
@@ -462,6 +532,25 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"serve\": [\n");
+    for (i, r) in serve_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"bits\": {serve_bits}, \"workers\": {}, \"queries\": {}, \"wall_s\": {:.6}, \"qps\": {:.1}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \"certs_verified\": {}, \"retries\": {}, \"sheds\": {}, \"failures\": {}}}{}",
+            r.workers,
+            r.queries,
+            r.wall_s,
+            r.qps,
+            r.cache_hits,
+            r.cache_hit_rate,
+            r.certs_verified,
+            r.retries,
+            r.sheds,
+            r.failures,
+            if i + 1 < serve_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
     // Single-thread compiled-vs-interpreter speedup: the PR 6 headline.
     let words_1t = |engine: &str| {
         sim_rows
@@ -479,18 +568,28 @@ fn main() {
         .sum();
     let total_cancellations: u64 = solver_rows.iter().map(|r| r.cancellations).sum();
     let total_shard_failures: u64 = fraig_rows.iter().map(|r| r.stats.shard_failures).sum();
+    let serve_wall: f64 = serve_rows.iter().map(|r| r.wall_s).sum();
+    let serve_hits: u64 = serve_rows.iter().map(|r| r.cache_hits).sum();
+    let serve_total_queries: u64 = serve_rows.iter().map(|r| r.queries as u64).sum();
+    let serve_retries: u64 = serve_rows.iter().map(|r| r.retries).sum();
+    let serve_sheds: u64 = serve_rows.iter().map(|r| r.sheds).sum();
+    let serve_failures: u64 = serve_rows.iter().map(|r| r.failures).sum();
     let _ = writeln!(
         json,
-        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}, \"compiled_words_per_sec\": {:.0}, \"compiled_speedup_1t\": {:.3}, \"deadline_interrupts\": {}, \"cancellations\": {}, \"shard_failures\": {}}}",
+        "  \"totals\": {{\"wall_s\": {:.6}, \"propagations_per_sec\": {:.0}, \"words_per_sec\": {:.0}, \"compiled_words_per_sec\": {:.0}, \"compiled_speedup_1t\": {:.3}, \"deadline_interrupts\": {}, \"cancellations\": {}, \"shard_failures\": {}, \"serve_cache_hit_rate\": {:.4}, \"serve_retries\": {}, \"serve_sheds\": {}, \"serve_failures\": {}}}",
         total_solver_wall + sim_wall + fraig_wall + bmc_row.incremental_wall_s
-            + bmc_row.monolithic_wall_s,
+            + bmc_row.monolithic_wall_s + serve_wall,
         total_props as f64 / total_solver_wall.max(1e-9),
         words_1t("interpreter"),
         words_1t("compiled"),
         words_1t("compiled") / words_1t("interpreter").max(1e-9),
         total_deadline_interrupts,
         total_cancellations,
-        total_shard_failures
+        total_shard_failures,
+        serve_hits as f64 / (serve_total_queries as f64).max(1.0),
+        serve_retries,
+        serve_sheds,
+        serve_failures
     );
     json.push_str("}\n");
 

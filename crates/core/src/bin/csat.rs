@@ -13,7 +13,18 @@
 //! csat fraig   <file.aag|file.aig> [--timeout-ms N] [-o out.aag]
 //! csat bmc     <file.aag> [--bound K] [--kind] [--preprocess none|synth|sweep|both]
 //! csat gen     php <holes> [-o out.aag]
+//! csat serve   [--workers N] [--queue N] [--timeout-ms N] [--shed]
+//! csat batch   <queries.txt> [--workers N] [--timeout-ms N] [--batch-timeout-ms N]
 //! ```
+//!
+//! `serve` and `batch` drive the `serve` crate's concurrent query engine:
+//! `serve` reads query lines from stdin and streams result lines to stdout
+//! until EOF; `batch` runs a query file to completion. Query lines are
+//! `solve <f.aag|f.aig>`, `lec <a.aag> <b.aag>`, or `bmc <m.aag> <bound>`,
+//! optionally ending in `timeout=MS`; `#`-lines are comments. Each query
+//! yields exactly one `r id=.. kind=.. status=..` line; verdicts repeat
+//! across structurally identical cones via the engine's verified proof
+//! cache (`cache=hit`).
 //!
 //! `bmc` reads a *sequential* AIGER file (latches allowed, real POs are
 //! the bad signals) and runs the incremental `mc` engines: bounded model
@@ -42,7 +53,7 @@ use std::time::{Duration, Instant};
 use synth::Recipe;
 
 const USAGE: &str =
-    "usage: csat <solve|encode|check|stats|fraig|bmc|gen> <instance.aag|instance.aig> [options]
+    "usage: csat <solve|encode|check|stats|fraig|bmc|gen|serve|batch> <instance.aag|instance.aig> [options]
   --pipeline baseline|comp|ours   (default ours)
   --recipe   \"rs;rw;b\"            synthesis recipe for 'ours' (default rs;rs;rw)
   --sweep                          add SAT sweeping (fraig) before mapping ('ours' only)
@@ -61,6 +72,17 @@ bmc options (sequential .aag input, real POs = bad signals):
   --certify                        re-check every UNSAT verdict with the RUP checker
 gen families:
   php <holes>                      pigeonhole circuit PHP(holes+1, holes), UNSAT
+serve/batch (concurrent query engine; lines: solve F | lec A B | bmc M K [timeout=MS]):
+  serve                            read query lines from stdin, stream results to stdout
+  batch <queries.txt>              run a query file to completion
+  --workers N                      worker threads (default: one per core)
+  --queue N                        admission-queue capacity (default 64)
+  --shed                           shed (answer unknown) instead of blocking when full
+  --timeout-ms N                   default per-query deadline
+  --batch-timeout-ms N             (batch) whole-batch deadline, min'd into each query
+  --conflicts N                    first-attempt conflict budget (retries escalate x4)
+  --retries N                      extra attempts for budget-exhausted queries (default 2)
+  batch exit: 1 any failed, else 30 any unknown, else 10 all sat / 20 all unsat / 0 mixed
 exit codes: 10 sat/cex, 20 unsat/proved, 0 inconclusive-but-complete,
             1 certificate rejected, 30 budget or deadline exhausted, 2 usage error";
 
@@ -97,7 +119,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "gen" {
         return run_gen(args);
     }
+    if cmd == "serve" {
+        check_flags(&args[1..], SERVE_VALUE_FLAGS, SERVE_BOOL_FLAGS)?;
+        return run_serve(args);
+    }
     let path = args.get(1).ok_or("missing instance path")?;
+    if cmd == "batch" {
+        let mut value_flags = SERVE_VALUE_FLAGS.to_vec();
+        value_flags.push("--batch-timeout-ms");
+        check_flags(&args[2..], &value_flags, SERVE_BOOL_FLAGS)?;
+        return run_batch(path, args);
+    }
     if cmd == "bmc" {
         check_flags(
             &args[2..],
@@ -648,6 +680,319 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
         println!("v frame {t} inputs {}", bits.join(""));
     }
     Ok(ExitCode::from(EXIT_SAT))
+}
+
+/// Flags shared by `csat serve` and `csat batch` that take a value.
+const SERVE_VALUE_FLAGS: &[&str] = &[
+    "--workers",
+    "--queue",
+    "--timeout-ms",
+    "--conflicts",
+    "--retries",
+];
+/// Boolean flags shared by `csat serve` and `csat batch`.
+const SERVE_BOOL_FLAGS: &[&str] = &["--shed"];
+
+/// Builds the query engine from the shared serve/batch flags.
+fn engine_from_args(args: &[String]) -> Result<serve::Engine, String> {
+    let defaults = serve::EngineConfig::default();
+    let cfg = serve::EngineConfig {
+        workers: parsed(args, "--workers")?.unwrap_or(0),
+        queue_capacity: parsed(args, "--queue")?.unwrap_or(defaults.queue_capacity),
+        admission: if args.iter().any(|a| a == "--shed") {
+            serve::Admission::Shed
+        } else {
+            serve::Admission::Block
+        },
+        // Like `csat solve`, the default is an unlimited conflict budget —
+        // budget-escalating retries only engage once --conflicts bounds it.
+        base_conflicts: parsed(args, "--conflicts")?.unwrap_or(u64::MAX),
+        max_attempts: parsed::<u32>(args, "--retries")?
+            .unwrap_or(defaults.max_attempts - 1)
+            .saturating_add(1),
+        ..defaults
+    };
+    Ok(serve::Engine::new(cfg))
+}
+
+/// One parsed query line: the query plus its per-line `timeout=MS`.
+struct QueryLine {
+    query: serve::Query,
+    timeout_ms: Option<u64>,
+}
+
+/// Parses one `solve F | lec A B | bmc M K [timeout=MS]` line; `None` for
+/// blanks and `#` comments.
+fn parse_query_line(line: &str) -> Result<Option<QueryLine>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    let mut timeout_ms = None;
+    if let Some(v) = tokens.last().and_then(|t| t.strip_prefix("timeout=")) {
+        timeout_ms = Some(
+            v.parse()
+                .map_err(|_| format!("bad timeout in query line '{trimmed}'"))?,
+        );
+        tokens.pop();
+    }
+    let query = match tokens.as_slice() {
+        ["solve", f] => serve::Query::Solve(load(f)?),
+        ["lec", a, b] => serve::Query::Lec(load(a)?, load(b)?),
+        ["bmc", m, k] => {
+            if !m.ends_with(".aag") {
+                return Err("bmc queries need an ASCII sequential AIGER (.aag) file".into());
+            }
+            let file = std::fs::File::open(m).map_err(|e| format!("cannot open {m}: {e}"))?;
+            let machine = aig::aiger::read_seq_aag(BufReader::new(file))
+                .map_err(|e| format!("cannot parse {m}: {e}"))?;
+            let bound: usize = k
+                .parse()
+                .map_err(|_| format!("bad bmc bound in query line '{trimmed}'"))?;
+            serve::Query::Bmc(machine, bound)
+        }
+        _ => return Err(format!("bad query line '{trimmed}'")),
+    };
+    Ok(Some(QueryLine { query, timeout_ms }))
+}
+
+/// Prints the one structured result line a query's response maps to.
+fn print_response(r: &serve::Response) {
+    let reason = match &r.verdict {
+        serve::Verdict::Unknown(u) => format!(" reason={}", u.name()),
+        _ => String::new(),
+    };
+    let witness = match &r.verdict {
+        serve::Verdict::Sat(w) if w.len() <= 256 => {
+            let bits: String = w.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            format!(" witness={bits}")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "r id={} kind={} status={}{reason}{witness} elapsed_ms={} attempts={} cache={}",
+        r.id,
+        r.kind.name(),
+        r.verdict.status(),
+        r.wall.as_millis(),
+        r.attempts,
+        if r.cache_hit { "hit" } else { "miss" }
+    );
+}
+
+/// Folds per-query verdicts into the PR 7 exit-code convention: any
+/// `Failed` beats any `Unknown` (30), else all-SAT is 10, all-UNSAT 20,
+/// and a mixed (or empty) but complete run is 0.
+fn exit_for_responses<'a>(verdicts: impl Iterator<Item = &'a serve::Verdict>) -> ExitCode {
+    let (mut sat, mut unsat, mut unknown, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for v in verdicts {
+        match v {
+            serve::Verdict::Sat(_) => sat += 1,
+            serve::Verdict::Unsat => unsat += 1,
+            serve::Verdict::Unknown(_) => unknown += 1,
+            serve::Verdict::Failed => failed += 1,
+        }
+    }
+    if failed > 0 {
+        ExitCode::from(EXIT_NOT_VERIFIED)
+    } else if unknown > 0 {
+        ExitCode::from(EXIT_RESOURCE)
+    } else if sat > 0 && unsat == 0 {
+        ExitCode::from(EXIT_SAT)
+    } else if unsat > 0 && sat == 0 {
+        ExitCode::from(EXIT_UNSAT)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Engine telemetry rendered for the `resource-report` line.
+fn serve_counters(s: &serve::EngineStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("submitted", s.submitted),
+        ("responded", s.responded),
+        ("cache_hits", s.cache.hits),
+        ("certs_verified", s.cache.certs_verified),
+        ("certs_rejected", s.cache.certs_rejected),
+        ("retries", s.retries),
+        ("sheds", s.sheds),
+        ("panics", s.panics_contained),
+        ("failures", s.failures),
+    ]
+}
+
+/// `csat serve`: line-oriented service on stdin/stdout. Queries stream in,
+/// result lines stream out as verdicts land (a printer thread owns stdout,
+/// so a slow query never blocks earlier results); EOF drains outstanding
+/// queries, shuts the engine down, and exits by the batch convention.
+fn run_serve(args: &[String]) -> Result<ExitCode, String> {
+    use std::io::BufRead;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let engine = Arc::new(engine_from_args(args)?);
+    let default_timeout: Option<u64> = parsed(args, "--timeout-ms")?;
+    let submitted = Arc::new(AtomicU64::new(0));
+    let eof = Arc::new(AtomicBool::new(false));
+    let printer = {
+        let engine = Arc::clone(&engine);
+        let submitted = Arc::clone(&submitted);
+        let eof = Arc::clone(&eof);
+        std::thread::spawn(move || {
+            let mut verdicts = Vec::new();
+            loop {
+                match engine.recv_timeout(Duration::from_millis(50)) {
+                    Some(r) => {
+                        print_response(&r);
+                        verdicts.push(r.verdict);
+                    }
+                    None => {
+                        if eof.load(Ordering::Acquire)
+                            && verdicts.len() as u64 >= submitted.load(Ordering::Acquire)
+                        {
+                            return verdicts;
+                        }
+                    }
+                }
+            }
+        })
+    };
+    let t0 = Instant::now();
+    let mut parse_errors = 0u64;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let parsed_line = match parse_query_line(&line) {
+            Ok(Some(q)) => q,
+            Ok(None) => continue,
+            Err(e) => {
+                // A malformed line must not kill the service; report it and
+                // fold it into the exit code like a failed query.
+                eprintln!("c error: {e}");
+                parse_errors += 1;
+                continue;
+            }
+        };
+        let deadline = parsed_line
+            .timeout_ms
+            .or(default_timeout)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        match engine.submit(
+            &parsed_line.query,
+            serve::QueryOpts {
+                deadline,
+                conflicts: None,
+            },
+        ) {
+            Ok(_) => {
+                submitted.fetch_add(1, Ordering::Release);
+            }
+            Err(e) => {
+                eprintln!("c error: {e}");
+                parse_errors += 1;
+            }
+        }
+    }
+    eof.store(true, Ordering::Release);
+    let verdicts = printer.join().expect("printer thread panicked");
+    engine.shutdown();
+    let stats = engine.stats();
+    let status = if parse_errors > 0 || stats.failures > 0 {
+        "failed"
+    } else if verdicts
+        .iter()
+        .any(|v| matches!(v, serve::Verdict::Unknown(_)))
+    {
+        "unknown"
+    } else {
+        "done"
+    };
+    resource_report(
+        "serve",
+        status,
+        t0.elapsed(),
+        default_timeout,
+        &serve_counters(&stats),
+    );
+    if parse_errors > 0 {
+        return Ok(ExitCode::from(EXIT_NOT_VERIFIED));
+    }
+    Ok(exit_for_responses(verdicts.iter()))
+}
+
+/// `csat batch`: run a query file to completion through the engine.
+fn run_batch(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if let Some(q) =
+            parse_query_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?
+        {
+            // Normalize up front so shape defects are a usage error (exit
+            // 2) before anything is admitted, keeping one-response-each
+            // for everything that does get submitted.
+            let norm = q
+                .query
+                .normalize()
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            queries.push((norm, q.timeout_ms));
+        }
+    }
+    let default_timeout: Option<u64> = parsed(args, "--timeout-ms")?;
+    let batch_timeout: Option<u64> = parsed(args, "--batch-timeout-ms")?;
+    let engine = engine_from_args(args)?;
+    let t0 = Instant::now();
+    let batch_deadline = batch_timeout.map(|ms| t0 + Duration::from_millis(ms));
+    let total = queries.len();
+    for (norm, timeout_ms) in queries {
+        let per_query = timeout_ms
+            .or(default_timeout)
+            .map(|ms| t0 + Duration::from_millis(ms));
+        let deadline = match (per_query, batch_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        engine
+            .submit_normalized(
+                norm,
+                serve::QueryOpts {
+                    deadline,
+                    conflicts: None,
+                },
+            )
+            .map_err(|e| format!("{e}"))?;
+    }
+    let mut responses = Vec::with_capacity(total);
+    while responses.len() < total {
+        let r = engine
+            .recv_timeout(Duration::from_secs(600))
+            .ok_or("engine lost a response (bug)")?;
+        responses.push(r);
+    }
+    responses.sort_by_key(|r| r.id);
+    for r in &responses {
+        print_response(r);
+    }
+    engine.shutdown();
+    let stats = engine.stats();
+    let status = if stats.failures > 0 {
+        "failed"
+    } else if responses
+        .iter()
+        .any(|r| matches!(r.verdict, serve::Verdict::Unknown(_)))
+    {
+        "unknown"
+    } else {
+        "done"
+    };
+    resource_report(
+        "batch",
+        status,
+        t0.elapsed(),
+        batch_timeout.or(default_timeout),
+        &serve_counters(&stats),
+    );
+    Ok(exit_for_responses(responses.iter().map(|r| &r.verdict)))
 }
 
 /// Emits the machine-readable telemetry line every resource-governed mode

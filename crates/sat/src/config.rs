@@ -103,36 +103,74 @@ impl Default for SolverConfig {
     }
 }
 
-/// Shared cancellation token: an [`Arc<AtomicBool>`] an external
-/// controller flips to interrupt every solver holding a clone of it.
+/// Shared, hierarchical cancellation token an external controller flips to
+/// interrupt every solver holding a clone of it.
 ///
 /// Cancellation is sticky — once raised, every subsequent budgeted solve
 /// returns [`crate::SolveResult::Unknown`] until [`Cancellation::reset`]
 /// clears the flag (or the solver gets a budget without the token). The
 /// solver polls it coarsely (once per interrupt-check period), so a
 /// cancelled solve stops promptly but not instantaneously.
+///
+/// Tokens form a tree: [`Cancellation::child`] derives a token that is
+/// cancelled whenever any of its ancestors is, while cancelling the child
+/// leaves the parent (and its other children) untouched. That is how a
+/// serving layer fans one engine-level shutdown out to every queued and
+/// in-flight query without making the queries share a single global flag —
+/// each query owns its child token and can be cancelled (or reset and
+/// resumed) individually.
 #[derive(Clone, Debug, Default)]
-pub struct Cancellation(Arc<AtomicBool>);
+pub struct Cancellation(Arc<CancelNode>);
+
+/// One node of the cancellation tree: an own flag plus an optional parent.
+#[derive(Debug, Default)]
+struct CancelNode {
+    flag: AtomicBool,
+    parent: Option<Arc<CancelNode>>,
+}
 
 impl Cancellation {
-    /// A fresh, unraised token.
+    /// A fresh, unraised root token.
     pub fn new() -> Cancellation {
         Cancellation::default()
     }
 
-    /// Raises the token; safe to call from any thread, idempotent.
+    /// Derives a child token: cancelled when `self` (or any ancestor of
+    /// `self`) is cancelled, but cancelling the child does not reach
+    /// `self`. Clones of the child share the child's flag, as always.
+    pub fn child(&self) -> Cancellation {
+        Cancellation(Arc::new(CancelNode {
+            flag: AtomicBool::new(false),
+            parent: Some(Arc::clone(&self.0)),
+        }))
+    }
+
+    /// Raises this token (and therefore every descendant); safe to call
+    /// from any thread, idempotent. Ancestors are unaffected.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.flag.store(true, Ordering::Relaxed);
     }
 
-    /// True once [`Cancellation::cancel`] has been called.
+    /// True once [`Cancellation::cancel`] has been called on this token or
+    /// any of its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        let mut node: &CancelNode = &self.0;
+        loop {
+            if node.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            match &node.parent {
+                Some(p) => node = p,
+                None => return false,
+            }
+        }
     }
 
-    /// Clears the token so solvers sharing it can run again.
+    /// Clears this token's own flag so solvers sharing it can run again.
+    /// A cancellation inherited from an ancestor is not cleared — reset
+    /// the ancestor that was cancelled.
     pub fn reset(&self) {
-        self.0.store(false, Ordering::Relaxed);
+        self.0.flag.store(false, Ordering::Relaxed);
     }
 }
 
@@ -237,5 +275,30 @@ mod tests {
         assert!(c.is_cancelled());
         clone.reset();
         assert!(!c.is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_inherit_but_do_not_leak_upward() {
+        let root = Cancellation::new();
+        let a = root.child();
+        let b = root.child();
+        let grand = a.child();
+        // Child cancel stays local.
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(grand.is_cancelled(), "grandchild inherits from parent");
+        assert!(!root.is_cancelled(), "cancel must not leak upward");
+        assert!(!b.is_cancelled(), "siblings are independent");
+        a.reset();
+        assert!(!grand.is_cancelled());
+        // Root cancel reaches every descendant at once.
+        root.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled() && grand.is_cancelled());
+        // A child cannot clear an inherited cancellation...
+        grand.reset();
+        assert!(grand.is_cancelled());
+        // ...only the ancestor that was cancelled can.
+        root.reset();
+        assert!(!grand.is_cancelled() && !a.is_cancelled() && !b.is_cancelled());
     }
 }

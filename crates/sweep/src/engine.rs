@@ -10,7 +10,7 @@
 //! trade-off).
 
 use crate::classes::candidate_classes;
-use crate::pool::{resolve_threads, run_sharded};
+use crate::pool::{resolve_threads, run_sharded, ChaosPlan, Fault};
 use aig::sim::{
     random_columns_par, random_columns_prog, simulate_columns_par, simulate_columns_prog,
     SimVectors,
@@ -98,74 +98,6 @@ pub struct FraigParams {
     /// the shard's cumulative log, so this is a test-harness/audit mode,
     /// not a production default. Default `false`.
     pub certify: bool,
-}
-
-/// Deterministic fault-injection plan for the sweep's oracle layer — the
-/// robustness test harness behind `tests/fault_injection.rs`.
-///
-/// Faults are rolled per query from `(seed, round, pair index)` alone, so
-/// an injected fault pattern is bit-reproducible and — like every other
-/// part of the sweep — independent of the thread count for a pinned shard
-/// count. Three fault shapes cover the real failure modes:
-///
-/// * **Unknown storms** (`unknown_in_1024`): the oracle answer is replaced
-///   by `Undecided` without running SAT, modelling budget/deadline
-///   exhaustion on a single query.
-/// * **Worker panics** (`panic_in_1024`): the shard worker panics,
-///   modelling a crashed solver; the pool contains it (`catch_unwind`) and
-///   the engine converts the shard's unanswered pairs to `Undecided` and
-///   counts [`FraigStats::shard_failures`].
-/// * **Round starvation** (`starve_from_round`): every query from the
-///   given round on is starved to `Undecided`, modelling whole-sweep
-///   deadline exhaustion at round granularity — deterministic, unlike a
-///   real wall-clock cut, so tests can assert exact subset properties.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ChaosPlan {
-    /// Fault-pattern seed.
-    pub seed: u64,
-    /// Per-query chance (out of 1024) of forcing an `Undecided` answer.
-    pub unknown_in_1024: u16,
-    /// Per-query chance (out of 1024) of panicking the shard worker.
-    pub panic_in_1024: u16,
-    /// Starve every query to `Undecided` from this round on.
-    pub starve_from_round: Option<usize>,
-}
-
-/// One injected fault.
-enum Fault {
-    /// Answer `Undecided` without consulting the oracle.
-    Unknown,
-    /// Panic the shard worker mid-query.
-    Panic,
-}
-
-impl ChaosPlan {
-    /// Rolls the fault (if any) for one query. Pure function of
-    /// `(self.seed, round, task)` — never of scheduling.
-    fn roll(&self, round: usize, task: usize) -> Option<Fault> {
-        if self.starve_from_round.is_some_and(|r| round >= r) {
-            return Some(Fault::Unknown);
-        }
-        let x = splitmix64(
-            self.seed ^ ((round as u64) << 40) ^ (task as u64).wrapping_mul(0x9E37_79B9),
-        );
-        let r = (x % 1024) as u16;
-        if r < self.panic_in_1024 {
-            Some(Fault::Panic)
-        } else if r < self.panic_in_1024.saturating_add(self.unknown_in_1024) {
-            Some(Fault::Unknown)
-        } else {
-            None
-        }
-    }
-}
-
-/// SplitMix64 finaliser: one well-mixed word from one input word.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 impl Default for FraigParams {

@@ -51,4 +51,5 @@ mod engine;
 pub mod pool;
 
 pub use classes::{candidate_classes, ClassMember, SigClasses};
-pub use engine::{fraig, ChaosPlan, FraigOutcome, FraigParams, FraigStats};
+pub use engine::{fraig, FraigOutcome, FraigParams, FraigStats};
+pub use pool::{ChaosPlan, Fault};

@@ -28,6 +28,79 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
+/// Deterministic fault-injection plan for sharded/pooled worker layers —
+/// the robustness test harness behind `tests/fault_injection.rs` and the
+/// serve layer's chaos suites.
+///
+/// Faults are rolled per work item from `(seed, round, task)` alone, so an
+/// injected fault pattern is bit-reproducible and — like every other part
+/// of a pinned-shard run — independent of the thread or worker count. Any
+/// [`run_sharded`] user (the fraig sweep's oracle shards, the serve
+/// engine's query workers) can consume the same plan: interpret `round` as
+/// its coarse progress counter (sweep round, retry attempt) and `task` as
+/// the item index. Three fault shapes cover the real failure modes:
+///
+/// * **Unknown storms** (`unknown_in_1024`): the worker's answer is
+///   replaced by an inconclusive one without running the real work,
+///   modelling budget/deadline exhaustion on a single item.
+/// * **Worker panics** (`panic_in_1024`): the worker panics, modelling a
+///   crashed solver; the pool contains it (`catch_unwind`) and the caller
+///   degrades or retries the lost items.
+/// * **Round starvation** (`starve_from_round`): every item from the given
+///   round on is starved, modelling whole-run deadline exhaustion at round
+///   granularity — deterministic, unlike a real wall-clock cut, so tests
+///   can assert exact subset properties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Fault-pattern seed.
+    pub seed: u64,
+    /// Per-item chance (out of 1024) of forcing an inconclusive answer.
+    pub unknown_in_1024: u16,
+    /// Per-item chance (out of 1024) of panicking the worker.
+    pub panic_in_1024: u16,
+    /// Starve every item to inconclusive from this round on.
+    pub starve_from_round: Option<usize>,
+}
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Answer inconclusively without doing the real work.
+    Unknown,
+    /// Panic the worker mid-item.
+    Panic,
+}
+
+impl ChaosPlan {
+    /// Rolls the fault (if any) for one work item. Pure function of
+    /// `(self.seed, round, task)` — never of scheduling — so a fault
+    /// pattern replays identically whatever executes the items.
+    pub fn roll(&self, round: usize, task: usize) -> Option<Fault> {
+        if self.starve_from_round.is_some_and(|r| round >= r) {
+            return Some(Fault::Unknown);
+        }
+        let x = splitmix64(
+            self.seed ^ ((round as u64) << 40) ^ (task as u64).wrapping_mul(0x9E37_79B9),
+        );
+        let r = (x % 1024) as u16;
+        if r < self.panic_in_1024 {
+            Some(Fault::Panic)
+        } else if r < self.panic_in_1024.saturating_add(self.unknown_in_1024) {
+            Some(Fault::Unknown)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finaliser: one well-mixed word from one input word.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Outcome of [`run_sharded`]: per-slot results plus which shards died.
 #[derive(Debug)]
 pub struct ShardedRun<V> {
