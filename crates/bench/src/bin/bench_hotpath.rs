@@ -39,16 +39,42 @@ struct SolverRow {
     cancellations: u64,
 }
 
-fn time_solver(name: &'static str, f: &Cnf, cfg: SolverConfig, reps: usize) -> SolverRow {
-    // One warm-up run, then `reps` timed runs.
-    let _ = solve_cnf(f, cfg.clone(), Budget::conflicts(2_000_000));
+/// Times one workload: a warm-up run (unobserved, so registry totals
+/// cover exactly the timed reps), then `reps` runs observed through `reg`
+/// — the same `obs` export path the CLI prints, so the report's solver
+/// totals can be cross-checked against one registry snapshot.
+fn time_solver(
+    name: &'static str,
+    f: &Cnf,
+    cfg: SolverConfig,
+    reps: usize,
+    reg: &obs::Registry,
+) -> SolverRow {
+    let run = |observed: bool| {
+        let mut solver = sat::Solver::from_cnf(f, cfg.clone());
+        if observed {
+            solver.set_observer(reg.root());
+        }
+        solver.set_budget(Budget::conflicts(2_000_000));
+        // Unit clauses propagate at load time, before solve(); report the
+        // per-solve delta — exactly what the registry counters accumulate.
+        let pre = *solver.stats();
+        let _ = solver.solve();
+        let post = *solver.stats();
+        sat::Stats {
+            propagations: post.propagations - pre.propagations,
+            conflicts: post.conflicts - pre.conflicts,
+            ..post
+        }
+    };
+    let _ = run(false); // warm-up
     let start = Instant::now();
     let mut propagations = 0u64;
     let mut conflicts = 0u64;
     let mut deadline_interrupts = 0u64;
     let mut cancellations = 0u64;
     for _ in 0..reps {
-        let (_, stats) = solve_cnf(f, cfg.clone(), Budget::conflicts(2_000_000));
+        let stats = run(true);
         propagations += stats.propagations;
         conflicts += stats.conflicts;
         deadline_interrupts += stats.deadline_interrupts;
@@ -97,18 +123,23 @@ fn main() {
         let b = carry_lookahead_adder(adder_bits);
         BaselinePipeline.preprocess(&miter(&a.aig, &b.aig)).cnf
     };
+    // Every timed rep publishes into this registry; the `totals` section
+    // reads its counters back, cross-checked against the per-row sums.
+    let solver_reg = obs::Registry::metrics_only();
     let solver_rows = [
         time_solver(
             "php",
             &pigeonhole(php_holes),
             SolverConfig::kissat_like(),
             solver_reps,
+            &solver_reg,
         ),
         time_solver(
             "random3sat",
             &random_3sat(sat_vars, 4.2, 3),
             SolverConfig::kissat_like(),
             solver_reps,
+            &solver_reg,
         ),
         // All-binary workload: propagation runs entirely in the solver's
         // inline binary-watcher tier (ratio just under the 2-SAT
@@ -118,12 +149,14 @@ fn main() {
             &random_2sat(twosat_vars, 0.95, 9),
             SolverConfig::kissat_like(),
             solver_reps,
+            &solver_reg,
         ),
         time_solver(
             "lec_miter",
             &lec_cnf,
             SolverConfig::cadical_like(),
             solver_reps,
+            &solver_reg,
         ),
     ];
 
@@ -178,6 +211,67 @@ fn main() {
             proof_deletions: log.deletions(),
             check_wall_s: start.elapsed().as_secs_f64(),
             check_verified,
+        }
+    };
+
+    // --- observability: zero-cost-when-off + tracing overhead -----------
+    // Same php workload, solved three ways: no observer, a
+    // disabled-registry observer (which must detach entirely — one branch
+    // per probe site), and a full tracing registry. The disabled wall
+    // must stay within noise of the baseline; the tracing wall records
+    // the real cost of span + counter emission. The tracing run also
+    // proves the single-source property: the conflict counts recorded on
+    // `sat.solve` span exits sum to exactly the registry's live counter.
+    struct ObsRow {
+        baseline_wall_s: f64,
+        disabled_wall_s: f64,
+        disabled_overhead_ratio: f64,
+        tracing_wall_s: f64,
+        tracing_overhead_ratio: f64,
+        events: usize,
+        span_conflicts: u64,
+        counter_conflicts: u64,
+    }
+    let obs_row = {
+        let f = pigeonhole(php_holes);
+        let time_php = |reg: Option<&obs::Registry>| {
+            let cfg = SolverConfig::kissat_like();
+            let run = || {
+                let mut solver = sat::Solver::from_cnf(&f, cfg.clone());
+                if let Some(r) = reg {
+                    solver.set_observer(r.root());
+                }
+                assert!(solver.solve().is_unsat(), "php is UNSAT");
+            };
+            run(); // warm-up
+            let start = Instant::now();
+            for _ in 0..solver_reps {
+                run();
+            }
+            start.elapsed().as_secs_f64()
+        };
+        let disabled = obs::Registry::disabled();
+        let tracing = obs::Registry::tracing();
+        let baseline_wall_s = time_php(None);
+        let disabled_wall_s = time_php(Some(&disabled));
+        let tracing_wall_s = time_php(Some(&tracing));
+        let events = tracing.drain_events();
+        obs::check::validate(&events).expect("bench trace stream well-formed");
+        let span_conflicts = obs::check::sum_field(&events, "sat.solve", "conflicts");
+        let counter_conflicts = tracing.snapshot().value("sat.conflicts").unwrap_or(0);
+        assert_eq!(
+            span_conflicts, counter_conflicts,
+            "span tree and live counter must agree on total conflicts"
+        );
+        ObsRow {
+            baseline_wall_s,
+            disabled_wall_s,
+            disabled_overhead_ratio: disabled_wall_s / baseline_wall_s.max(1e-9),
+            tracing_wall_s,
+            tracing_overhead_ratio: tracing_wall_s / baseline_wall_s.max(1e-9),
+            events: events.len(),
+            span_conflicts,
+            counter_conflicts,
         }
     };
 
@@ -259,22 +353,36 @@ fn main() {
         shards: usize,
         sim_engine: &'static str,
         wall_s: f64,
-        stats: sweep::FraigStats,
+        sat_calls: u64,
+        proved: u64,
+        disproved: u64,
+        rounds: u64,
+        deadline_interrupts: u64,
+        shard_failures: u64,
         ands_out: usize,
     }
     let mut fraig_rows: Vec<FraigRow> = Vec::new();
     for &bits in fraig_bits {
         let fg = adder_miter(bits);
         let mut run = |threads: usize, shards: usize, compiled_sim: bool| {
+            // Per-row registry: row telemetry is read back from the
+            // published `sweep.stats.*` gauges — the same export path the
+            // CLI prints — not from the returned stats struct. The
+            // warm-up publishes too; last-write-wins leaves the timed run.
+            let reg = obs::Registry::metrics_only();
             let params = FraigParams {
                 threads,
                 shards,
                 compiled_sim,
+                obs: reg.clone(),
                 ..FraigParams::default()
             };
             let _ = fraig(&fg, &params); // warm-up
             let start = Instant::now();
             let out = fraig(&fg, &params);
+            let wall_s = start.elapsed().as_secs_f64();
+            let snap = reg.snapshot();
+            let gauge = |k: &str| snap.value(k).unwrap_or(0);
             fraig_rows.push(FraigRow {
                 bits,
                 threads,
@@ -284,8 +392,13 @@ fn main() {
                 } else {
                     "interpreter"
                 },
-                wall_s: start.elapsed().as_secs_f64(),
-                stats: out.stats,
+                wall_s,
+                sat_calls: gauge("sweep.stats.sat_calls"),
+                proved: gauge("sweep.stats.proved"),
+                disproved: gauge("sweep.stats.disproved"),
+                rounds: gauge("sweep.stats.rounds"),
+                deadline_interrupts: gauge("sweep.stats.deadline_interrupts"),
+                shard_failures: gauge("sweep.stats.shard_failures"),
                 ands_out: out.aig.num_ands(),
             });
         };
@@ -392,8 +505,13 @@ fn main() {
         thread_counts
             .iter()
             .map(|&workers| {
+                // Per-row registry: telemetry is read back from the
+                // `serve.stats.*` gauges the engine publishes — the same
+                // snapshot the CLI's `stats` command serves.
+                let reg = obs::Registry::metrics_only();
                 let engine = Engine::new(EngineConfig {
                     workers,
+                    obs: reg.clone(),
                     ..EngineConfig::default()
                 });
                 let start = Instant::now();
@@ -403,26 +521,40 @@ fn main() {
                     responses.iter().all(|r| r.verdict.is_unsat()),
                     "the adder LEC stream is all-UNSAT"
                 );
-                let stats = engine.stats();
+                engine.stats().publish(&reg);
                 engine.shutdown();
+                let snap = reg.snapshot();
+                let gauge = |k: &str| snap.value(k).unwrap_or(0);
+                let cache_hits = gauge("serve.stats.cache_hits");
                 ServeRow {
                     workers,
                     queries: serve_queries,
                     wall_s,
                     qps: serve_queries as f64 / wall_s.max(1e-9),
-                    cache_hits: stats.cache.hits,
-                    cache_hit_rate: stats.cache.hits as f64 / serve_queries as f64,
-                    certs_verified: stats.cache.certs_verified,
-                    retries: stats.retries,
-                    sheds: stats.sheds,
-                    failures: stats.failures,
+                    cache_hits,
+                    cache_hit_rate: cache_hits as f64 / serve_queries as f64,
+                    certs_verified: gauge("serve.stats.certs_verified"),
+                    retries: gauge("serve.stats.retries"),
+                    sheds: gauge("serve.stats.sheds"),
+                    failures: gauge("serve.stats.failures"),
                 }
             })
             .collect()
     };
 
     // --- report ---------------------------------------------------------
-    let total_props: u64 = solver_rows.iter().map(|r| r.propagations).sum();
+    // Solver totals come from the shared registry snapshot — the same
+    // source `csat --metrics` prints — cross-checked against the per-row
+    // struct sums so the two export paths can never silently diverge.
+    let total_props: u64 = solver_reg
+        .snapshot()
+        .value("sat.propagations")
+        .expect("observed solver reps registered the counter");
+    assert_eq!(
+        total_props,
+        solver_rows.iter().map(|r| r.propagations).sum::<u64>(),
+        "registry counter and per-row stats sums must agree"
+    );
     let total_solver_wall: f64 = solver_rows.iter().map(|r| r.wall_s).sum();
     let sim_wall: f64 = sim_rows.iter().map(|r| r.wall_s).sum();
     let fraig_wall: f64 = fraig_rows.iter().map(|r| r.wall_s).sum();
@@ -476,6 +608,21 @@ fn main() {
             r.check_verified
         );
     }
+    {
+        let r = &obs_row;
+        let _ = writeln!(
+            json,
+            "  \"obs\": {{\"name\": \"php\", \"holes\": {php_holes}, \"reps\": {solver_reps}, \"baseline_wall_s\": {:.6}, \"disabled_wall_s\": {:.6}, \"disabled_overhead_ratio\": {:.4}, \"tracing_wall_s\": {:.6}, \"tracing_overhead_ratio\": {:.4}, \"events\": {}, \"span_conflicts\": {}, \"counter_conflicts\": {}}},",
+            r.baseline_wall_s,
+            r.disabled_wall_s,
+            r.disabled_overhead_ratio,
+            r.tracing_wall_s,
+            r.tracing_overhead_ratio,
+            r.events,
+            r.span_conflicts,
+            r.counter_conflicts
+        );
+    }
     json.push_str("  \"sim\": [\n");
     for (i, r) in sim_rows.iter().enumerate() {
         let _ = writeln!(
@@ -504,13 +651,13 @@ fn main() {
             r.shards,
             r.sim_engine,
             r.wall_s,
-            r.stats.sat_calls,
-            r.stats.proved,
-            r.stats.disproved,
-            r.stats.rounds,
+            r.sat_calls,
+            r.proved,
+            r.disproved,
+            r.rounds,
             r.ands_out,
-            r.stats.deadline_interrupts,
-            r.stats.shard_failures,
+            r.deadline_interrupts,
+            r.shard_failures,
             if i + 1 < fraig_rows.len() { "," } else { "" }
         );
     }
@@ -564,10 +711,10 @@ fn main() {
     let total_deadline_interrupts: u64 = solver_rows
         .iter()
         .map(|r| r.deadline_interrupts)
-        .chain(fraig_rows.iter().map(|r| r.stats.deadline_interrupts))
+        .chain(fraig_rows.iter().map(|r| r.deadline_interrupts))
         .sum();
     let total_cancellations: u64 = solver_rows.iter().map(|r| r.cancellations).sum();
-    let total_shard_failures: u64 = fraig_rows.iter().map(|r| r.stats.shard_failures).sum();
+    let total_shard_failures: u64 = fraig_rows.iter().map(|r| r.shard_failures).sum();
     let serve_wall: f64 = serve_rows.iter().map(|r| r.wall_s).sum();
     let serve_hits: u64 = serve_rows.iter().map(|r| r.cache_hits).sum();
     let serve_total_queries: u64 = serve_rows.iter().map(|r| r.queries as u64).sum();

@@ -62,6 +62,8 @@ const USAGE: &str =
   --conflicts N                    conflict budget (default unlimited)
   --timeout-ms N                   wall-clock deadline; exhaustion exits 30
   --proof FILE                     (solve) log DRAT; on UNSAT write the certificate
+  --trace FILE                     write a span/metrics trace (JSONL; '.json' = Chrome trace_event)
+  --metrics                        print a metrics summary table on stderr
   -o FILE                          output path for 'encode'/'fraig'/'gen'
 solve also accepts a DIMACS formula directly (.cnf/.dimacs input)
 check: csat check <formula.cnf> <proof.drat>   verify a DRAT certificate
@@ -82,6 +84,8 @@ serve/batch (concurrent query engine; lines: solve F | lec A B | bmc M K [timeou
   --batch-timeout-ms N             (batch) whole-batch deadline, min'd into each query
   --conflicts N                    first-attempt conflict budget (retries escalate x4)
   --retries N                      extra attempts for budget-exhausted queries (default 2)
+  a 'stats' input line makes serve emit a Prometheus-text metrics snapshot
+  on stdout, terminated by a '# EOF' line
   batch exit: 1 any failed, else 30 any unknown, else 10 all sat / 20 all unsat / 0 mixed
 exit codes: 10 sat/cex, 20 unsat/proved, 0 inconclusive-but-complete,
             1 certificate rejected, 30 budget or deadline exhausted, 2 usage error";
@@ -133,8 +137,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "bmc" {
         check_flags(
             &args[2..],
-            &["--bound", "--conflicts", "--timeout-ms", "--preprocess"],
-            &["--kind", "--certify"],
+            &[
+                "--bound",
+                "--conflicts",
+                "--timeout-ms",
+                "--preprocess",
+                "--trace",
+            ],
+            &["--kind", "--certify", "--metrics"],
         )?;
         return run_bmc(path, args);
     }
@@ -155,7 +165,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "encode" => {
             check_flags(&args[2..], &["--pipeline", "--recipe", "-o"], &["--sweep"])?;
             let instance = load(path)?;
-            let pipeline = make_pipeline(args, None)?;
+            let pipeline = make_pipeline(args, None, &obs::Registry::disabled())?;
             let pre = pipeline.preprocess(&instance);
             let text = cnf::dimacs::to_dimacs_string(&pre.cnf);
             match value_of(args, "-o")? {
@@ -173,7 +183,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "fraig" => {
-            check_flags(&args[2..], &["--timeout-ms", "-o"], &[])?;
+            check_flags(
+                &args[2..],
+                &["--timeout-ms", "-o", "--trace"],
+                &["--metrics"],
+            )?;
             run_fraig(path, args)
         }
         "solve" => {
@@ -186,8 +200,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "--conflicts",
                     "--timeout-ms",
                     "--proof",
+                    "--trace",
                 ],
-                &["--sweep", "--presolve"],
+                &["--sweep", "--presolve", "--metrics"],
             )?;
             run_solve(path, args)
         }
@@ -197,6 +212,70 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             run_check(path, proof)
         }
         other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// CLI-side observability wiring shared by `solve`, `fraig`, `bmc`,
+/// `serve`, and `batch`: `--trace FILE` turns span tracing on, `--metrics`
+/// a summary table; either flag enables the registry, both share it.
+struct ObsCli {
+    reg: obs::Registry,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl ObsCli {
+    fn from_args(args: &[String]) -> Result<ObsCli, String> {
+        let trace_out = value_of(args, "--trace")?;
+        let metrics = args.iter().any(|a| a == "--metrics");
+        let reg = if trace_out.is_some() {
+            obs::Registry::tracing()
+        } else if metrics {
+            obs::Registry::metrics_only()
+        } else {
+            obs::Registry::disabled()
+        };
+        Ok(ObsCli {
+            reg,
+            trace_out,
+            metrics,
+        })
+    }
+
+    /// Drains the registry at end of run: writes the trace file (Chrome
+    /// `trace_event` JSON for `.json` paths, JSONL otherwise) and prints
+    /// the metrics table on stderr. A malformed span stream is reported
+    /// but still written — the trace is the evidence needed to debug it.
+    fn finish(&self) -> Result<(), String> {
+        if !self.reg.is_enabled() {
+            return Ok(());
+        }
+        let snap = self.reg.snapshot();
+        if let Some(out) = &self.trace_out {
+            let events = self.reg.drain_events();
+            if let Err(e) = obs::check::validate(&events) {
+                eprintln!("c trace: WARNING: span stream invalid: {e}");
+            }
+            let text = if out.ends_with(".json") {
+                obs::export::to_chrome_trace(&events)
+            } else {
+                obs::export::to_jsonl(&events, &snap)
+            };
+            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            let dropped = self.reg.dropped_events();
+            if dropped > 0 {
+                eprintln!(
+                    "c trace: {} events -> {out} ({dropped} dropped)",
+                    events.len()
+                );
+            } else {
+                eprintln!("c trace: {} events -> {out}", events.len());
+            }
+        }
+        if self.metrics {
+            eprint!("{}", snap.to_table());
+        }
+        Ok(())
     }
 }
 
@@ -225,40 +304,47 @@ fn solve_cnf_cli(
     budget: Budget,
     presolve: bool,
     proof_out: Option<&str>,
+    reg: &obs::Registry,
 ) -> Result<(sat::SolveResult, sat::Stats), String> {
     if proof_out.is_none() {
-        let (res, stats) = if presolve {
-            sat::presolve::solve_cnf_presolved(
+        if presolve {
+            // The presolver owns its inner solver, so per-solve spans are
+            // unavailable on this path; gauges still publish below.
+            let (res, stats) = sat::presolve::solve_cnf_presolved(
                 f,
                 config,
                 budget,
                 &sat::presolve::PresolveConfig::default(),
-            )
-        } else {
-            solve_cnf(f, config, budget)
-        };
-        return Ok((res, stats));
-    }
-    if presolve {
+            );
+            stats.publish(reg);
+            return Ok((res, stats));
+        }
+        if !reg.is_enabled() {
+            return Ok(solve_cnf(f, config, budget));
+        }
+    } else if presolve {
         eprintln!("c presolve disabled: it does not emit proof steps (--proof is on)");
     }
-    config.proof = true;
+    config.proof = proof_out.is_some();
     let mut solver = sat::Solver::from_cnf(f, config);
+    solver.set_observer(reg.root());
     solver.set_budget(budget);
     let res = solver.solve();
     let stats = *solver.stats();
-    if res.is_unsat() {
-        let out = proof_out.expect("checked above");
-        let log = solver.proof().expect("proof logging was enabled");
-        std::fs::write(out, log.to_drat_string())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
-        eprintln!(
-            "c proof: {} additions, {} deletions -> {out}",
-            log.additions(),
-            log.deletions()
-        );
-    } else if let Some(out) = proof_out {
-        eprintln!("c proof: verdict is not UNSAT, no certificate written to {out}");
+    stats.publish(reg);
+    if let Some(out) = proof_out {
+        if res.is_unsat() {
+            let log = solver.proof().expect("proof logging was enabled");
+            std::fs::write(out, log.to_drat_string())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "c proof: {} additions, {} deletions -> {out}",
+                log.additions(),
+                log.deletions()
+            );
+        } else {
+            eprintln!("c proof: verdict is not UNSAT, no certificate written to {out}");
+        }
     }
     Ok((res, stats))
 }
@@ -266,6 +352,7 @@ fn solve_cnf_cli(
 /// `csat solve`: preprocess and solve one combinational instance, or
 /// solve a DIMACS formula directly (`.cnf`/`.dimacs` input).
 fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    let obs_cli = ObsCli::from_args(args)?;
     let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
     let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let solver = match value_of(args, "--solver")?.as_deref() {
@@ -296,11 +383,12 @@ fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
             presolve,
             proof_out.as_deref(),
             timeout_ms,
+            &obs_cli,
         );
     }
 
     let instance = load(path)?;
-    let pipeline = make_pipeline(args, deadline)?;
+    let pipeline = make_pipeline(args, deadline, &obs_cli.reg)?;
     let t0 = Instant::now();
     let pre = pipeline.preprocess(&instance);
     if proof_out.is_some() {
@@ -309,7 +397,14 @@ fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
              (reproduce it with 'csat encode' and identical pipeline flags)"
         );
     }
-    let (res, stats) = solve_cnf_cli(&pre.cnf, solver, budget, presolve, proof_out.as_deref())?;
+    let (res, stats) = solve_cnf_cli(
+        &pre.cnf,
+        solver,
+        budget,
+        presolve,
+        proof_out.as_deref(),
+        &obs_cli.reg,
+    )?;
     let dt = t0.elapsed();
     eprintln!(
         "c {}: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
@@ -335,6 +430,7 @@ fn run_solve(path: &str, args: &[String]) -> Result<ExitCode, String> {
             ("cancellations", stats.cancellations),
         ],
     );
+    obs_cli.finish()?;
     match res {
         sat::SolveResult::Sat(model) => {
             let ins = pre.decoder.decode_inputs(&model);
@@ -375,10 +471,11 @@ fn run_solve_dimacs(
     presolve: bool,
     proof_out: Option<&str>,
     timeout_ms: Option<u64>,
+    obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
     let f = load_cnf(path)?;
     let t0 = Instant::now();
-    let (res, stats) = solve_cnf_cli(&f, config, budget, presolve, proof_out)?;
+    let (res, stats) = solve_cnf_cli(&f, config, budget, presolve, proof_out, &obs_cli.reg)?;
     let dt = t0.elapsed();
     eprintln!(
         "c dimacs: vars={} clauses={} decisions={} conflicts={} solve={dt:?}",
@@ -403,6 +500,7 @@ fn run_solve_dimacs(
             ("cancellations", stats.cancellations),
         ],
     );
+    obs_cli.finish()?;
     match res {
         sat::SolveResult::Sat(model) => {
             if !f.eval(&model) {
@@ -471,10 +569,12 @@ fn run_check(path: &str, proof_path: &str) -> Result<ExitCode, String> {
 
 /// `csat fraig`: SAT-sweep one combinational instance.
 fn run_fraig(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    let obs_cli = ObsCli::from_args(args)?;
     let instance = load(path)?;
     let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
     let params = sweep::FraigParams {
         deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        obs: obs_cli.reg.clone(),
         ..sweep::FraigParams::default()
     };
     let t0 = Instant::now();
@@ -502,6 +602,7 @@ fn run_fraig(path: &str, args: &[String]) -> Result<ExitCode, String> {
             ("shard_failures", s.shard_failures),
         ],
     );
+    obs_cli.finish()?;
     if let Some(out) = value_of(args, "-o")? {
         let file = std::fs::File::create(&out).map_err(|e| format!("cannot write {out}: {e}"))?;
         aig::aiger::write_aag(&outcome.aig, file).map_err(|e| e.to_string())?;
@@ -552,6 +653,15 @@ fn run_gen(args: &[String]) -> Result<ExitCode, String> {
 
 /// `csat bmc`: incremental bounded model checking / k-induction.
 fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
+    // The inner runner has several verdict-specific early returns; the
+    // wrapper guarantees the trace/metrics drain happens on all of them.
+    let obs_cli = ObsCli::from_args(args)?;
+    let code = run_bmc_inner(path, args, &obs_cli.reg)?;
+    obs_cli.finish()?;
+    Ok(code)
+}
+
+fn run_bmc_inner(path: &str, args: &[String], reg: &obs::Registry) -> Result<ExitCode, String> {
     if !path.ends_with(".aag") {
         return Err("bmc needs an ASCII sequential AIGER (.aag) file".into());
     }
@@ -565,13 +675,15 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
     let query_budget: Option<u64> = parsed(args, "--conflicts")?;
     let timeout_ms: Option<u64> = parsed(args, "--timeout-ms")?;
     let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let sweep_params = || sweep::FraigParams {
+        obs: reg.clone(),
+        ..sweep::FraigParams::default()
+    };
     let preprocess = match value_of(args, "--preprocess")?.as_deref() {
         None | Some("none") => mc::Preprocess::None,
         Some("synth") => mc::Preprocess::Synth(synth::Recipe::size_script()),
-        Some("sweep") => mc::Preprocess::Sweep(sweep::FraigParams::default()),
-        Some("both") => {
-            mc::Preprocess::Both(synth::Recipe::size_script(), sweep::FraigParams::default())
-        }
+        Some("sweep") => mc::Preprocess::Sweep(sweep_params()),
+        Some("both") => mc::Preprocess::Both(synth::Recipe::size_script(), sweep_params()),
         Some(other) => return Err(format!("unknown preprocess mode '{other}'")),
     };
     eprintln!(
@@ -590,6 +702,7 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
             deadline,
             preprocess,
             certify,
+            obs: reg.clone(),
         };
         match mc::prove(&machine, bound, &opts) {
             mc::KindResult::Proved { k } => {
@@ -612,6 +725,7 @@ fn run_bmc(path: &str, args: &[String]) -> Result<ExitCode, String> {
             deadline,
             preprocess,
             certify,
+            obs: reg.clone(),
         };
         let mut engine = mc::BmcEngine::new(&machine, opts);
         let result = engine.check_frames(bound);
@@ -689,15 +803,17 @@ const SERVE_VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--conflicts",
     "--retries",
+    "--trace",
 ];
 /// Boolean flags shared by `csat serve` and `csat batch`.
-const SERVE_BOOL_FLAGS: &[&str] = &["--shed"];
+const SERVE_BOOL_FLAGS: &[&str] = &["--shed", "--metrics"];
 
 /// Builds the query engine from the shared serve/batch flags.
-fn engine_from_args(args: &[String]) -> Result<serve::Engine, String> {
+fn engine_from_args(args: &[String], reg: &obs::Registry) -> Result<serve::Engine, String> {
     let defaults = serve::EngineConfig::default();
     let cfg = serve::EngineConfig {
         workers: parsed(args, "--workers")?.unwrap_or(0),
+        obs: reg.clone(),
         queue_capacity: parsed(args, "--queue")?.unwrap_or(defaults.queue_capacity),
         admission: if args.iter().any(|a| a == "--shed") {
             serve::Admission::Shed
@@ -831,7 +947,8 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
 
-    let engine = Arc::new(engine_from_args(args)?);
+    let obs_cli = ObsCli::from_args(args)?;
+    let engine = Arc::new(engine_from_args(args, &obs_cli.reg)?);
     let default_timeout: Option<u64> = parsed(args, "--timeout-ms")?;
     let submitted = Arc::new(AtomicU64::new(0));
     let eof = Arc::new(AtomicBool::new(false));
@@ -862,6 +979,26 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut parse_errors = 0u64;
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim() == "stats" {
+            // Live introspection: a Prometheus-text snapshot of the
+            // session registry (or a throwaway one when tracing is off),
+            // written atomically w.r.t. result lines — holding the stdout
+            // lock parks the printer thread between its own lines.
+            let reg = if obs_cli.reg.is_enabled() {
+                obs_cli.reg.clone()
+            } else {
+                obs::Registry::metrics_only()
+            };
+            engine.stats().publish(&reg);
+            let prom = reg.snapshot().to_prometheus();
+            use std::io::Write;
+            let mut out = std::io::stdout().lock();
+            out.write_all(prom.as_bytes())
+                .and_then(|()| out.write_all(b"# EOF\n"))
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("stdout: {e}"))?;
+            continue;
+        }
         let parsed_line = match parse_query_line(&line) {
             Ok(Some(q)) => q,
             Ok(None) => continue,
@@ -897,6 +1034,9 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
     let verdicts = printer.join().expect("printer thread panicked");
     engine.shutdown();
     let stats = engine.stats();
+    // The final accounting used to vanish at stdin EOF; surface it.
+    eprintln!("c engine-stats {stats}");
+    stats.publish(&obs_cli.reg);
     let status = if parse_errors > 0 || stats.failures > 0 {
         "failed"
     } else if verdicts
@@ -914,6 +1054,7 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
         default_timeout,
         &serve_counters(&stats),
     );
+    obs_cli.finish()?;
     if parse_errors > 0 {
         return Ok(ExitCode::from(EXIT_NOT_VERIFIED));
     }
@@ -940,7 +1081,8 @@ fn run_batch(path: &str, args: &[String]) -> Result<ExitCode, String> {
     }
     let default_timeout: Option<u64> = parsed(args, "--timeout-ms")?;
     let batch_timeout: Option<u64> = parsed(args, "--batch-timeout-ms")?;
-    let engine = engine_from_args(args)?;
+    let obs_cli = ObsCli::from_args(args)?;
+    let engine = engine_from_args(args, &obs_cli.reg)?;
     let t0 = Instant::now();
     let batch_deadline = batch_timeout.map(|ms| t0 + Duration::from_millis(ms));
     let total = queries.len();
@@ -975,6 +1117,7 @@ fn run_batch(path: &str, args: &[String]) -> Result<ExitCode, String> {
     }
     engine.shutdown();
     let stats = engine.stats();
+    stats.publish(&obs_cli.reg);
     let status = if stats.failures > 0 {
         "failed"
     } else if responses
@@ -992,6 +1135,7 @@ fn run_batch(path: &str, args: &[String]) -> Result<ExitCode, String> {
         batch_timeout.or(default_timeout),
         &serve_counters(&stats),
     );
+    obs_cli.finish()?;
     Ok(exit_for_responses(responses.iter().map(|r| &r.verdict)))
 }
 
@@ -1028,7 +1172,11 @@ fn load(path: &str) -> Result<aig::Aig, String> {
     result.map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn make_pipeline(args: &[String], deadline: Option<Instant>) -> Result<Box<dyn Pipeline>, String> {
+fn make_pipeline(
+    args: &[String],
+    deadline: Option<Instant>,
+    reg: &obs::Registry,
+) -> Result<Box<dyn Pipeline>, String> {
     match value_of(args, "--pipeline")?.as_deref() {
         Some("baseline") => Ok(Box::new(BaselinePipeline)),
         Some("comp") => Ok(Box::new(CompPipeline::default())),
@@ -1044,6 +1192,7 @@ fn make_pipeline(args: &[String], deadline: Option<Instant>) -> Result<Box<dyn P
                 // a stuck run.
                 pipeline = pipeline.with_sweep(sweep::FraigParams {
                     deadline,
+                    obs: reg.clone(),
                     ..sweep::FraigParams::default()
                 });
             }

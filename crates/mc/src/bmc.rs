@@ -77,6 +77,13 @@ pub struct BmcOptions {
     /// cumulative log is re-verified per frame, so this is a
     /// test-harness/audit mode, not a production setting.
     pub certify: bool,
+    /// Observability domain: each frame solve runs under an `mc.frame`
+    /// span (the persistent solver re-parented per frame), and the
+    /// clean-frame prefix is published as the `mc.clean_frames` gauge.
+    /// The default (disabled) registry keeps every probe to one branch.
+    /// Note this does *not* propagate to [`Preprocess::Sweep`] — set
+    /// [`FraigParams::obs`](sweep::FraigParams::obs) there directly.
+    pub obs: obs::Registry,
 }
 
 /// Outcome of a [`BmcEngine::check_frames`] call.
@@ -173,6 +180,8 @@ pub struct BmcEngine {
     pending: Option<PendingQuery>,
     /// Counterexample, once found (the engine is then exhausted).
     cex: Option<(usize, Vec<Vec<bool>>)>,
+    /// Observability domain ([`BmcOptions::obs`]).
+    obs: obs::Registry,
 }
 
 impl BmcEngine {
@@ -205,6 +214,7 @@ impl BmcEngine {
             certified_queries: 0,
             pending: None,
             cex: None,
+            obs: opts.obs,
             seq,
         }
     }
@@ -280,13 +290,25 @@ impl BmcEngine {
                 frame: self.clean_frames,
             });
         }
+        let resumed = self.pending.is_some();
         let query = match self.pending.take() {
             Some(q) => q,
             None => match self.encode_next_frame() {
                 Ok(q) => q,
-                Err(result) => return result,
+                Err(result) => {
+                    self.obs
+                        .set_gauge("mc.clean_frames", self.clean_frames as u64);
+                    return result;
+                }
             },
         };
+        // One span tree per frame solve; the persistent solver re-parents
+        // under it so its `sat.solve` span nests in the right frame.
+        let frame_span = self.obs.span_with(
+            "mc.frame",
+            &[("frame", query.frame.into()), ("resumed", resumed.into())],
+        );
+        self.enc.solver.set_observer(frame_span.handle());
         // Always reset the budget: a lifted deadline (or budget) must not
         // leave a stale limit in the persistent solver.
         let limit = self
@@ -299,7 +321,16 @@ impl BmcEngine {
             }
             .with_deadline(self.deadline),
         );
-        match self.enc.solver.solve_with_assumptions(&[query.act]) {
+        let result = self.enc.solver.solve_with_assumptions(&[query.act]);
+        frame_span.record(
+            "result",
+            match &result {
+                SolveResult::Sat(_) => "cex",
+                SolveResult::Unsat => "clean",
+                SolveResult::Unknown => "unknown",
+            },
+        );
+        let out = match result {
             SolveResult::Sat(model) => {
                 let trace = self.decode_trace(&model, query.frame);
                 debug_assert!(
@@ -332,7 +363,10 @@ impl BmcEngine {
                 self.pending = Some(query);
                 Some(BmcResult::Unknown { frame: query.frame })
             }
-        }
+        };
+        self.obs
+            .set_gauge("mc.clean_frames", self.clean_frames as u64);
+        out
     }
 
     /// Encodes the next time frame and prepares its guarded property

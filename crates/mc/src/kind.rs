@@ -50,6 +50,9 @@ pub struct KindOptions {
     /// by the independent backward RUP checker, panicking on rejection.
     /// Test-harness/audit mode — see [`BmcOptions::certify`].
     pub certify: bool,
+    /// Observability domain, handed to the base BMC engine (frame spans,
+    /// clean-frames gauge — see [`BmcOptions::obs`]).
+    pub obs: obs::Registry,
 }
 
 /// Outcome of a [`prove`] run.
@@ -106,6 +109,7 @@ pub fn prove(seq: &SeqAig, max_k: usize, opts: &KindOptions) -> KindResult {
             deadline: opts.deadline,
             preprocess: Preprocess::None,
             certify: opts.certify,
+            obs: opts.obs.clone(),
         },
     );
     let mut step = StepEngine::new(&seq, opts);

@@ -1,0 +1,175 @@
+//! Trace-file serialisation: JSONL (one event per line, plus trailing
+//! metric records) and Chrome `trace_event` JSON for flamegraph viewers.
+//!
+//! Both formats are hand-rolled — field keys and span names are
+//! `&'static str` identifiers and values are integers, so escaping is
+//! trivial and the crate stays dependency-free.
+
+use crate::span::{Event, EventKind, FieldValue};
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            FieldValue::U64(n) => {
+                let _ = write!(out, "\"{}\":{n}", json_escape(k));
+            }
+            FieldValue::Str(s) => {
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(s));
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Renders events as JSON Lines: one `{"ev":...}` object per event in
+/// `seq` order, followed by one `{"metric":...}` object per registered
+/// counter/gauge and `{"hist":...}` per histogram, so external checkers
+/// can cross-validate span fields against metric totals from one file.
+pub fn to_jsonl(events: &[Event], snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"ev\":\"{}\",\"name\":\"{}\",\"span\":{},\"parent\":{},\"thread\":{},\"seq\":{},\"ts_ns\":{},\"fields\":",
+            e.kind.name(),
+            json_escape(e.name),
+            e.span,
+            e.parent,
+            e.thread,
+            e.seq,
+            e.ts_ns,
+        );
+        write_fields(&mut out, &e.fields);
+        out.push_str("}\n");
+    }
+    for (name, v) in snapshot.counters.iter().chain(snapshot.gauges.iter()) {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    for (name, h) in &snapshot.hists {
+        let _ = write!(
+            out,
+            "{{\"hist\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+            json_escape(name),
+            h.count,
+            h.sum
+        );
+        for (i, (le, n)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{le},{n}]");
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Renders events in Chrome `trace_event` format (the JSON array form):
+/// Enter/Exit become `ph:"B"`/`ph:"E"` duration events, Instant becomes
+/// `ph:"i"`; `tid` is the obs thread index and timestamps are in
+/// microseconds as the format requires. Load in `chrome://tracing` or
+/// Perfetto.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = match e.kind {
+            EventKind::Enter => "B",
+            EventKind::Exit => "E",
+            EventKind::Instant => "i",
+        };
+        let ts_us = e.ts_ns as f64 / 1000.0;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3}",
+            json_escape(e.name),
+            e.thread,
+        );
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.fields.is_empty() || e.kind == EventKind::Enter {
+            out.push_str(",\"args\":");
+            let mut args: Vec<(&'static str, FieldValue)> = Vec::new();
+            if e.kind == EventKind::Enter {
+                args.push(("span", FieldValue::U64(e.span)));
+                args.push(("parent", FieldValue::U64(e.parent)));
+            }
+            args.extend(e.fields.iter().copied());
+            write_fields(&mut out, &args);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let reg = Registry::tracing();
+        reg.counter("sat.conflicts").add(3);
+        {
+            let sp = reg.span("sat.solve");
+            sp.event("restart", &[("n", 1u64.into())]);
+            sp.record("result", "sat");
+        }
+        let events = reg.drain_events();
+        let text = to_jsonl(&events, &reg.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // enter, instant, exit, metric
+        assert!(lines[0].contains("\"ev\":\"enter\""));
+        assert!(lines[1].contains("\"restart\""));
+        assert!(lines[2].contains("\"result\":\"sat\""));
+        assert!(lines[3].contains("\"metric\":\"sat.conflicts\",\"value\":3"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_a_json_array_with_b_e_pairs() {
+        let reg = Registry::tracing();
+        drop(reg.span("root"));
+        let text = to_chrome_trace(&reg.drain_events());
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+    }
+}

@@ -1,0 +1,291 @@
+//! Lock-free metric handles and point-in-time snapshots.
+//!
+//! Handles are `Option<Arc<..>>`: a handle minted by a disabled
+//! [`Registry`](crate::Registry) is `None` and every update is one branch;
+//! an enabled handle is a shared atomic cell updated with relaxed
+//! `fetch_add`/`store` — no locks on any hot path. The registry mutex is
+//! taken only when a handle is first registered and when a snapshot is cut.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 histogram buckets: bucket `i` holds values whose bit
+/// length is `i`, i.e. the ranges `{0}`, `{1}`, `[2,3]`, `[4,7]`, ... up
+/// to `[2^63, u64::MAX]`.
+const BUCKETS: usize = 65;
+
+/// Monotonically increasing event count. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`; one relaxed atomic op (or one branch when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins level (queue depth, published struct totals, ...).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the level; one relaxed store.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram storage: 65 log2 buckets plus sum and count.
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> HistCore {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistCore {
+    pub(crate) fn snap(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_bound(i), n));
+            }
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Upper bound (inclusive) of log2 bucket `i`: `2^i - 1` (saturating).
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Log2-bucketed distribution (conflicts per query, queue wait, burst
+/// lengths). Bucket index is the value's bit length, so `observe` is a
+/// `leading_zeros` plus three relaxed atomic adds — cheap enough for
+/// conflict-rate call sites.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCore>>);
+
+impl std::fmt::Debug for HistCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snap();
+        f.debug_struct("HistCore")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            let idx = (64 - v.leading_zeros()) as usize;
+            h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    #[inline]
+    pub fn observe_micros(&self, d: std::time::Duration) {
+        if self.0.is_some() {
+            self.observe(d.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram: only non-empty buckets, keyed by
+/// their inclusive upper bound (`2^i - 1`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `(upper_bound, count)` per non-empty log2 bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric, alphabetically sorted.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, histogram)` per histogram.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks a counter or gauge up by name (counters win ties).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .chain(self.gauges.iter())
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Prometheus text-format exposition (metric names sanitised:
+    /// `.`/`-` become `_`). Histograms render as cumulative `_bucket`
+    /// series with power-of-two `le` bounds plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.hists {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for &(le, count) in &h.buckets {
+                cum += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Human-readable summary table (the CLI's `--metrics` output).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.hists.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in self.counters.iter().chain(self.gauges.iter()) {
+            let _ = writeln!(out, "{name:width$}  {v}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "{name:width$}  count={} sum={} mean={:.1}",
+                h.count,
+                h.sum,
+                h.mean()
+            );
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::metrics_only();
+        reg.counter("sat.conflicts").add(12);
+        reg.set_gauge("serve.stats.sheds", 0);
+        let h = reg.histogram("serve.queue_wait_us");
+        h.observe(5);
+        h.observe(100);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE sat_conflicts counter"));
+        assert!(text.contains("sat_conflicts 12"));
+        assert!(text.contains("# TYPE serve_stats_sheds gauge"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_queue_wait_us_sum 105"));
+        assert!(text.contains("serve_queue_wait_us_count 2"));
+    }
+
+    #[test]
+    fn table_lists_everything() {
+        let reg = Registry::metrics_only();
+        reg.counter("a.b").add(1);
+        reg.histogram("c.d").observe(4);
+        let table = reg.snapshot().to_table();
+        assert!(table.contains("a.b"));
+        assert!(table.contains("count=1 sum=4"));
+    }
+}

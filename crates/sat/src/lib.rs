@@ -40,6 +40,7 @@ pub mod reference;
 pub mod restart;
 mod solver;
 mod stats;
+mod trace;
 mod types;
 
 pub use config::{Budget, Cancellation, RestartStrategy, SolverConfig};

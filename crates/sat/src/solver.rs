@@ -141,6 +141,10 @@ pub struct Solver {
     /// pre-expired deadline or pre-raised token is noticed before any
     /// search work.
     interrupt_countdown: u32,
+    /// Observability hooks, present iff [`Solver::set_observer`] attached
+    /// an enabled registry. Boxed like the proof log: the unobserved case
+    /// costs one null-check at conflict-rate probe sites only.
+    trace: Option<Box<crate::trace::SolverTrace>>,
 
     // Analysis scratch space.
     seen: Vec<bool>,
@@ -179,6 +183,7 @@ impl Solver {
             ok: true,
             proof,
             interrupt_countdown: 1,
+            trace: None,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
@@ -195,6 +200,20 @@ impl Solver {
     /// Sets resource limits for subsequent [`Solver::solve`] calls.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Attaches observability: subsequent solves run under `sat.solve`
+    /// spans parented to `parent`, per-solve stat deltas accumulate into
+    /// the parent registry's `sat.*` counters/histograms, and search-loop
+    /// boundaries (restart, reduction, GC) become instant events. A
+    /// handle from a disabled registry detaches the observer again.
+    /// Cloning an observed solver shares the metric cells but never an
+    /// open span (see `SolverTrace::clone`).
+    pub fn set_observer(&mut self, parent: obs::SpanHandle) {
+        self.trace = parent
+            .registry()
+            .is_enabled()
+            .then(|| Box::new(crate::trace::SolverTrace::new(parent)));
     }
 
     /// Accumulated statistics.
@@ -823,6 +842,9 @@ impl Solver {
         debug_assert_eq!(to.len(), self.db.len(), "live clauses must survive GC");
         self.db = to;
         self.stats.gcs += 1;
+        if let Some(t) = self.trace.as_deref() {
+            t.on_gc(&self.stats);
+        }
         #[cfg(debug_assertions)]
         self.assert_integrity();
     }
@@ -1053,6 +1075,25 @@ impl Solver {
     /// assert!(s.solve().is_sat()); // still satisfiable without assumptions
     /// ```
     pub fn solve_with_assumptions(&mut self, assumptions: &[CnfLit]) -> SolveResult {
+        if self.trace.is_none() {
+            return self.solve_inner(assumptions);
+        }
+        // Span bracketing lives in this thin wrapper so every return path
+        // of the search loop closes the `sat.solve` span with its deltas.
+        let stats = self.stats;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.solve_start(&stats, assumptions.len());
+        }
+        let result = self.solve_inner(assumptions);
+        let stats = self.stats;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.solve_end(&stats, &result);
+        }
+        result
+    }
+
+    /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
+    fn solve_inner(&mut self, assumptions: &[CnfLit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -1076,6 +1117,9 @@ impl Solver {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.on_conflict(&self.stats);
+                }
                 if self.decision_level() == 0 {
                     self.log_empty_clause();
                     self.ok = false;
@@ -1116,6 +1160,9 @@ impl Solver {
                         + self.config.reduce_first
                         + self.reduce_count * self.config.reduce_increment;
                     self.reduce_db();
+                    if let Some(t) = self.trace.as_deref() {
+                        t.on_reduce(&self.stats);
+                    }
                 }
                 if self.budget_exhausted() || self.interrupted() {
                     self.backtrack(0);
@@ -1125,6 +1172,9 @@ impl Solver {
                 if self.restart.should_restart() && self.decision_level() > 0 {
                     self.restart.on_restart();
                     self.stats.restarts += 1;
+                    if let Some(t) = self.trace.as_deref() {
+                        t.on_restart(&self.stats);
+                    }
                     self.backtrack(0);
                     continue;
                 }

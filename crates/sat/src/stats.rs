@@ -33,17 +33,50 @@ pub struct Stats {
     pub max_trail: usize,
 }
 
+impl Stats {
+    /// Publishes every field as a `sat.stats.*` gauge in `reg`
+    /// (last-write-wins), so CLI tables, the serve `stats` command, and
+    /// bench totals all read solver totals from one registry snapshot.
+    pub fn publish(&self, reg: &obs::Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.set_gauge("sat.stats.decisions", self.decisions);
+        reg.set_gauge("sat.stats.conflicts", self.conflicts);
+        reg.set_gauge("sat.stats.propagations", self.propagations);
+        reg.set_gauge("sat.stats.restarts", self.restarts);
+        reg.set_gauge("sat.stats.learnt_clauses", self.learnt_clauses);
+        reg.set_gauge("sat.stats.deleted_clauses", self.deleted_clauses);
+        reg.set_gauge("sat.stats.minimized_literals", self.minimized_literals);
+        reg.set_gauge("sat.stats.gcs", self.gcs);
+        reg.set_gauge("sat.stats.watcher_shrinks", self.watcher_shrinks);
+        reg.set_gauge("sat.stats.deadline_interrupts", self.deadline_interrupts);
+        reg.set_gauge("sat.stats.cancellations", self.cancellations);
+        reg.set_gauge("sat.stats.max_trail", self.max_trail as u64);
+    }
+}
+
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Existing keys stay first and unchanged: the resource-report
+        // parser (and log-scraping tests) key on `name=value` tokens.
         write!(
             f,
-            "decisions={} conflicts={} propagations={} restarts={} learnt={} deleted={}",
+            "decisions={} conflicts={} propagations={} restarts={} learnt={} deleted={} \
+             minimized={} gcs={} watcher_shrinks={} deadline_interrupts={} cancellations={} \
+             max_trail={}",
             self.decisions,
             self.conflicts,
             self.propagations,
             self.restarts,
             self.learnt_clauses,
-            self.deleted_clauses
+            self.deleted_clauses,
+            self.minimized_literals,
+            self.gcs,
+            self.watcher_shrinks,
+            self.deadline_interrupts,
+            self.cancellations,
+            self.max_trail
         )
     }
 }
@@ -66,5 +99,58 @@ mod tests {
             ..Stats::default()
         };
         assert!(format!("{s}").contains("decisions=42"));
+    }
+
+    #[test]
+    fn display_prints_every_counter() {
+        let s = Stats {
+            decisions: 1,
+            conflicts: 2,
+            propagations: 3,
+            restarts: 4,
+            learnt_clauses: 5,
+            deleted_clauses: 6,
+            minimized_literals: 7,
+            gcs: 8,
+            watcher_shrinks: 9,
+            deadline_interrupts: 10,
+            cancellations: 11,
+            max_trail: 12,
+        };
+        let text = format!("{s}");
+        for token in [
+            "decisions=1",
+            "conflicts=2",
+            "propagations=3",
+            "restarts=4",
+            "learnt=5",
+            "deleted=6",
+            "minimized=7",
+            "gcs=8",
+            "watcher_shrinks=9",
+            "deadline_interrupts=10",
+            "cancellations=11",
+            "max_trail=12",
+        ] {
+            assert!(text.contains(token), "missing `{token}` in `{text}`");
+        }
+    }
+
+    #[test]
+    fn publish_mirrors_fields_into_gauges() {
+        let s = Stats {
+            conflicts: 21,
+            minimized_literals: 4,
+            ..Stats::default()
+        };
+        let reg = obs::Registry::metrics_only();
+        s.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("sat.stats.conflicts"), Some(21));
+        assert_eq!(snap.value("sat.stats.minimized_literals"), Some(4));
+        // Disabled registries must stay empty.
+        let off = obs::Registry::disabled();
+        s.publish(&off);
+        assert!(off.snapshot().is_empty());
     }
 }

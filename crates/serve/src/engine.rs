@@ -98,6 +98,10 @@ pub struct EngineConfig {
     /// Deterministic fault injection for robustness tests: rolled per
     /// (attempt, query id), independent of worker count and schedule.
     pub chaos: Option<ChaosPlan>,
+    /// Observability registry. Disabled by default; when tracing, each
+    /// query runs under one `serve.query` span tree (admission →
+    /// queue-wait → per-attempt solve → response).
+    pub obs: obs::Registry,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +118,7 @@ impl Default for EngineConfig {
             solver: SolverConfig::default(),
             seed: 0x5e12_7e11,
             chaos: None,
+            obs: obs::Registry::disabled(),
         }
     }
 }
@@ -277,6 +282,61 @@ pub struct EngineStats {
     pub cache: CacheStats,
 }
 
+impl EngineStats {
+    /// Publishes every counter as a `serve.stats.*` gauge in `reg`
+    /// (last-write-wins), so the CLI summary, the `stats` line-protocol
+    /// command, and bench totals all read from one registry snapshot.
+    pub fn publish(&self, reg: &obs::Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.set_gauge("serve.stats.submitted", self.submitted);
+        reg.set_gauge("serve.stats.responded", self.responded);
+        reg.set_gauge("serve.stats.sat", self.sat);
+        reg.set_gauge("serve.stats.unsat", self.unsat);
+        reg.set_gauge("serve.stats.unknown_budget", self.unknown_budget);
+        reg.set_gauge("serve.stats.unknown_deadline", self.unknown_deadline);
+        reg.set_gauge("serve.stats.cancelled", self.cancelled);
+        reg.set_gauge("serve.stats.sheds", self.sheds);
+        reg.set_gauge("serve.stats.retries", self.retries);
+        reg.set_gauge("serve.stats.panics_contained", self.panics_contained);
+        reg.set_gauge("serve.stats.failures", self.failures);
+        reg.set_gauge("serve.stats.cache_hits", self.cache.hits);
+        reg.set_gauge("serve.stats.cache_misses", self.cache.misses);
+        reg.set_gauge("serve.stats.cache_insertions", self.cache.insertions);
+        reg.set_gauge("serve.stats.certs_verified", self.cache.certs_verified);
+        reg.set_gauge("serve.stats.certs_rejected", self.cache.certs_rejected);
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    /// Stable `key=value` rendering, same convention as [`sat::Stats`] —
+    /// the `csat serve` shutdown summary line prints this.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} responded={} sat={} unsat={} unknown_budget={} unknown_deadline={} \
+             cancelled={} sheds={} retries={} panics={} failures={} cache_hits={} \
+             cache_misses={} certs_verified={} certs_rejected={}",
+            self.submitted,
+            self.responded,
+            self.sat,
+            self.unsat,
+            self.unknown_budget,
+            self.unknown_deadline,
+            self.cancelled,
+            self.sheds,
+            self.retries,
+            self.panics_contained,
+            self.failures,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.certs_verified,
+            self.cache.certs_rejected
+        )
+    }
+}
+
 /// One queued query. Owned linearly: by the queue, then by exactly one
 /// worker, until a response is emitted or it is requeued.
 struct Job {
@@ -289,6 +349,11 @@ struct Job {
     next_conflicts: u64,
     not_before: Option<Instant>,
     submitted_at: Instant,
+    /// The query's `serve.query` span, opened at admission. Travels with
+    /// the job across requeues; closes (emitting its exit event) when the
+    /// job is dropped after its single response — including drops during
+    /// a worker panic unwind, which keeps the event stream balanced.
+    span: obs::Span,
 }
 
 struct QueueState {
@@ -324,6 +389,10 @@ struct Shared {
     root: Cancellation,
     tx: Mutex<Sender<Response>>,
     tel: Telemetry,
+    /// Observability registry (clone of `cfg.obs`, hoisted for probe sites).
+    obs: obs::Registry,
+    /// Admission-to-first-dequeue wait, in microseconds.
+    queue_wait: obs::Histogram,
 }
 
 /// The solver-as-a-service engine. See the [module docs](self).
@@ -365,6 +434,8 @@ impl Engine {
         solver_cfg.proof = true;
         let base = Solver::from_cnf(&cnf::Cnf::new(), solver_cfg);
         let (tx, rx) = channel();
+        let obs = cfg.obs.clone();
+        let queue_wait = obs.histogram("serve.queue_wait_us");
         let shared = Arc::new(Shared {
             cfg,
             base: Mutex::new(base),
@@ -378,13 +449,15 @@ impl Engine {
             root: Cancellation::new(),
             tx: Mutex::new(tx),
             tel: Telemetry::default(),
+            obs,
+            queue_wait,
         });
         let workers = (0..resolved_workers)
             .map(|i| {
                 let sh = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&sh))
+                    .spawn(move || worker_loop(&sh, i))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -420,6 +493,10 @@ impl Engine {
         let sh = &self.shared;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = sh.root.child();
+        let span = sh.obs.span_with(
+            "serve.query",
+            &[("id", id.into()), ("kind", norm.kind.name().into())],
+        );
         let job = Job {
             id,
             norm,
@@ -430,6 +507,7 @@ impl Engine {
             next_conflicts: opts.conflicts.unwrap_or(sh.cfg.base_conflicts),
             not_before: None,
             submitted_at: Instant::now(),
+            span,
         };
         let mut st = lock(&sh.state);
         if st.shutdown {
@@ -586,7 +664,12 @@ fn pick(queue: &[Job], now: Instant, shutdown: bool) -> (Option<usize>, Option<I
     (best, next_ready)
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    // One span per worker lifetime; query spans are parented to the
+    // submitter, so this mostly anchors per-thread idle/busy boundaries.
+    let _worker_span = shared
+        .obs
+        .span_with("serve.worker", &[("worker", index.into())]);
     loop {
         let job = {
             let mut st = lock(&shared.state);
@@ -635,6 +718,14 @@ impl Shared {
     /// Runs one job to a response or a requeue. The only entry point that
     /// consumes jobs, so response-exactly-once follows from job ownership.
     fn process(&self, mut job: Job) {
+        if job.attempt == 0 && job.panics == 0 {
+            // First dequeue only: requeued jobs re-enter with backoff, and
+            // their wait is retry policy, not queue pressure.
+            let wait = job.submitted_at.elapsed();
+            self.queue_wait.observe_micros(wait);
+            job.span
+                .event("dequeue", &[("wait_us", (wait.as_micros() as u64).into())]);
+        }
         if job.cancel.is_cancelled() {
             self.respond(&job, Verdict::Unknown(UnknownReason::Cancelled), false);
             return;
@@ -716,8 +807,19 @@ impl Shared {
 
     /// One solve on a fresh clone of the warm base under the job's budget.
     fn solve_attempt(&self, job: &Job) -> AttemptOutcome {
+        // `serve.solve` child per attempt; the solver's own `sat.solve`
+        // span nests under it via the observer. If this attempt panics,
+        // the span closes during unwind, keeping the stream balanced.
+        let attempt_span = job.span.child_with(
+            "serve.solve",
+            &[
+                ("attempt", job.attempt.into()),
+                ("conflicts_budget", job.next_conflicts.into()),
+            ],
+        );
         let (formula, vmap) = cnf::tseitin_sat_instance(&job.norm.cone);
         let mut solver = lock(&self.base).clone();
+        solver.set_observer(attempt_span.handle());
         for clause in formula.clauses() {
             solver.add_clause_cnf(clause);
         }
@@ -793,6 +895,11 @@ impl Shared {
         };
         counter.fetch_add(1, Ordering::Relaxed);
         self.tel.responded.fetch_add(1, Ordering::Relaxed);
+        let wall = job.submitted_at.elapsed();
+        job.span.record("status", verdict.status());
+        job.span.record("cache_hit", cache_hit);
+        job.span.record("attempts", job.attempt);
+        job.span.record("wall_us", wall.as_micros() as u64);
         // A receiver that hung up just discards responses; that is the
         // caller's prerogative, not an engine error.
         let _ = lock(&self.tx).send(Response {
@@ -801,7 +908,7 @@ impl Shared {
             verdict,
             cache_hit,
             attempts: job.attempt,
-            wall: job.submitted_at.elapsed(),
+            wall,
         });
     }
 }

@@ -254,6 +254,44 @@ mod tests {
     }
 
     #[test]
+    fn traced_engine_emits_balanced_query_spans() {
+        let reg = obs::Registry::tracing();
+        let (a, b) = xor_pair();
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            obs: reg.clone(),
+            ..EngineConfig::default()
+        });
+        let rs = engine.run_batch(&[
+            (Query::Lec(a, b), QueryOpts::default()),
+            (
+                Query::Solve(workloads::cnf_gen::pigeonhole_aig(4)),
+                QueryOpts::default(),
+            ),
+        ]);
+        assert_eq!(rs.len(), 2);
+        engine.stats().publish(&reg);
+        engine.shutdown(); // workers joined: every span is closed
+        let events = reg.drain_events();
+        obs::check::validate(&events).expect("span stream well-formed");
+        let queries = events
+            .iter()
+            .filter(|e| e.kind == obs::EventKind::Enter && e.name == "serve.query")
+            .count();
+        assert_eq!(queries, 2, "one serve.query span per submission");
+        // Per-query conflict counts (summed over sat.solve exits) must
+        // agree with the live counter — the acceptance criterion's "span
+        // tree sums to solver totals" check at unit scale.
+        let snap = reg.snapshot();
+        assert_eq!(
+            obs::check::sum_field(&events, "sat.solve", "conflicts"),
+            snap.value("sat.conflicts").unwrap_or(0)
+        );
+        assert_eq!(snap.value("serve.stats.responded"), Some(2));
+        assert!(snap.histogram("serve.queue_wait_us").is_some());
+    }
+
+    #[test]
     fn shed_admission_answers_overflow_immediately() {
         let engine = Engine::new(EngineConfig {
             workers: 1,

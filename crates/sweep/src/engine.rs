@@ -21,7 +21,7 @@ use sat::{Budget, SolveResult, Solver, SolverConfig};
 use std::time::Instant;
 
 /// Tuning knobs for [`fraig`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FraigParams {
     /// Words (64 patterns each) of base random simulation per round.
     pub sim_words: usize,
@@ -98,6 +98,14 @@ pub struct FraigParams {
     /// the shard's cumulative log, so this is a test-harness/audit mode,
     /// not a production default. Default `false`.
     pub certify: bool,
+    /// Observability domain: the sweep runs under a `sweep.fraig` span
+    /// with per-round and per-shard children, per-round pair counts feed
+    /// the `sweep.round.pairs` histogram, shard oracles report `sat.*`
+    /// counters, and [`FraigStats`] is published as `sweep.stats.*`
+    /// gauges on completion. The default (disabled) registry keeps every
+    /// probe to one branch. (This field is why `FraigParams` is `Clone`
+    /// but no longer `Copy`.)
+    pub obs: obs::Registry,
 }
 
 impl Default for FraigParams {
@@ -115,6 +123,7 @@ impl Default for FraigParams {
             deadline: None,
             chaos: None,
             certify: false,
+            obs: obs::Registry::disabled(),
         }
     }
 }
@@ -144,6 +153,26 @@ pub struct FraigStats {
     /// UNSAT merge verdicts verified by the independent proof checker
     /// (equals `proved` when [`FraigParams::certify`] is on; 0 otherwise).
     pub certified: u64,
+}
+
+impl FraigStats {
+    /// Publishes every field as a `sweep.stats.*` gauge (last-write-wins);
+    /// [`fraig`] calls this on completion so live snapshots and the final
+    /// stats struct agree by construction.
+    pub fn publish(&self, reg: &obs::Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.set_gauge("sweep.stats.rounds", self.rounds as u64);
+        reg.set_gauge("sweep.stats.sat_calls", self.sat_calls);
+        reg.set_gauge("sweep.stats.proved", self.proved as u64);
+        reg.set_gauge("sweep.stats.disproved", self.disproved as u64);
+        reg.set_gauge("sweep.stats.unknown", self.unknown as u64);
+        reg.set_gauge("sweep.stats.cex_patterns", self.cex_patterns as u64);
+        reg.set_gauge("sweep.stats.deadline_interrupts", self.deadline_interrupts);
+        reg.set_gauge("sweep.stats.shard_failures", self.shard_failures);
+        reg.set_gauge("sweep.stats.certified", self.certified);
+    }
 }
 
 /// Result of a [`fraig`] run.
@@ -236,6 +265,11 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
     // The sweep never mutates the graph mid-run, so the compiled program
     // is built once and reused by every round's resimulation.
     let prog = params.compiled_sim.then(|| SimProgram::full(aig));
+    let sweep_span = params.obs.span_with(
+        "sweep.fraig",
+        &[("nodes", n.into()), ("shards", shards.into())],
+    );
+    let pairs_hist = params.obs.histogram("sweep.round.pairs");
     for round in 0..params.max_rounds {
         // Whole-sweep deadline: never start a round past it. Everything
         // merged so far is individually SAT-proved, so cutting here only
@@ -245,6 +279,9 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
             break;
         }
         stats.rounds = round + 1;
+        let round_span = sweep_span.child_with("sweep.round", &[("round", round.into())]);
+        let proved_before = stats.proved;
+        let disproved_before = stats.disproved;
         simulate_round(
             aig,
             params,
@@ -303,6 +340,7 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         // Prove the whole list on the sharded oracles (in parallel when
         // threads allow), then merge the answers in pair-index order.
         stats.sat_calls += tasks.len() as u64;
+        pairs_hist.observe(tasks.len() as u64);
         let (answers, failed_shards) = prove_tasks(
             &mut oracles,
             &base_solver,
@@ -312,6 +350,7 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
             params,
             round,
             threads,
+            &round_span.handle(),
         );
         // A panicked shard's oracle is poisoned mid-query: drop it so the
         // next round lazily rebuilds from the clean base solver. Its
@@ -364,6 +403,9 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         // fresh keys once per round keeps `dead` sorted and duplicate-free.
         dead.extend(fresh_dead);
         dead.sort_unstable();
+        round_span.record("tasks", tasks.len());
+        round_span.record("proved", stats.proved - proved_before);
+        round_span.record("disproved", stats.disproved - disproved_before);
         if chunk_len == 0 {
             break;
         }
@@ -371,6 +413,8 @@ pub fn fraig(aig: &Aig, params: &FraigParams) -> FraigOutcome {
         cex_chunks.push(chunk);
     }
 
+    drop(sweep_span);
+    stats.publish(&params.obs);
     FraigOutcome {
         aig: rebuild(aig, &equiv),
         stats,
@@ -402,12 +446,22 @@ fn prove_tasks(
     params: &FraigParams,
     round: usize,
     threads: usize,
+    round_span: &obs::SpanHandle,
 ) -> (Vec<Answer>, Vec<usize>) {
     if tasks.is_empty() {
         return (Vec::new(), Vec::new());
     }
     let shards = oracles.len();
     let run = run_sharded(threads, oracles, tasks.len(), |s, oracle, emit| {
+        if s >= tasks.len() {
+            return;
+        }
+        // One `sweep.shard` span per shard per round; the oracle is
+        // re-parented under it each round (its previous round's shard
+        // span is closed by then, and a warm-start re-fork would have
+        // given it shard 0's handle anyway).
+        let shard_span = round_span.child_with("sweep.shard", &[("shard", s.into())]);
+        let mut observed = false;
         let mut i = s;
         while i < tasks.len() {
             match params.chaos.as_ref().and_then(|c| c.roll(round, i)) {
@@ -428,6 +482,10 @@ fn prove_tasks(
             // shards they do not touch; first use is per-shard
             // deterministic.
             let oracle = oracle.get_or_insert_with(|| PairOracle::new(base_solver, base_vars));
+            if !observed {
+                oracle.solver.set_observer(shard_span.handle());
+                observed = true;
+            }
             let task = &tasks[i];
             emit(
                 i,
@@ -975,7 +1033,7 @@ mod tests {
                 &g,
                 &FraigParams {
                     compiled_sim: true,
-                    ..base
+                    ..base.clone()
                 },
             );
             let interp = fraig(

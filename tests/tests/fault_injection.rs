@@ -54,8 +54,8 @@ proptest! {
             chaos: Some(ChaosPlan { seed, unknown_in_1024: rate, ..ChaosPlan::default() }),
             ..FraigParams::default()
         };
-        let seq = fraig(&m, &FraigParams { threads: 1, ..base });
-        let par = fraig(&m, &FraigParams { threads: 4, ..base });
+        let seq = fraig(&m, &FraigParams { threads: 1, ..base.clone() });
+        let par = fraig(&m, &FraigParams { threads: 4, ..base.clone() });
         prop_assert_eq!(&seq.stats, &par.stats, "chaos run diverged across thread counts");
         prop_assert!(exhaustive_equiv(&m, &seq.aig), "faulted sweep must stay equivalent");
     }
@@ -71,7 +71,7 @@ proptest! {
         let free = fraig(&m, &base);
         let starved = fraig(&m, &FraigParams {
             chaos: Some(ChaosPlan { seed, starve_from_round: Some(from), ..ChaosPlan::default() }),
-            ..base
+            ..base.clone()
         });
         prop_assert!(starved.stats.proved <= free.stats.proved, "faults can only lose merges");
         prop_assert!(starved.aig.num_ands() >= free.aig.num_ands());
@@ -93,8 +93,8 @@ proptest! {
             chaos: Some(ChaosPlan { seed, panic_in_1024: 300, ..ChaosPlan::default() }),
             ..FraigParams::default()
         };
-        let seq = fraig(&m, &FraigParams { threads: 1, ..base });
-        let par = fraig(&m, &FraigParams { threads: 4, ..base });
+        let seq = fraig(&m, &FraigParams { threads: 1, ..base.clone() });
+        let par = fraig(&m, &FraigParams { threads: 4, ..base.clone() });
         prop_assert_eq!(&seq.stats, &par.stats, "panic containment diverged across threads");
         prop_assert!(exhaustive_equiv(&m, &seq.aig));
     }

@@ -58,8 +58,8 @@ proptest! {
         // path (not just the sharded oracles) is exercised; 4 pinned
         // shards make the outcome a pure function of the input.
         let base = FraigParams { sim_words: 17, shards: 4, ..FraigParams::default() };
-        let seq = fraig(&m, &FraigParams { threads: 1, ..base });
-        let par = fraig(&m, &FraigParams { threads: 4, ..base });
+        let seq = fraig(&m, &FraigParams { threads: 1, ..base.clone() });
+        let par = fraig(&m, &FraigParams { threads: 4, ..base.clone() });
         assert_identical(&seq, &par);
         prop_assert!(exhaustive_equiv(&m, &par.aig), "sweep must preserve the function");
     }
@@ -81,8 +81,8 @@ proptest! {
         );
         let m = miter(&g, &restructure(&g, seed ^ 0xBEEF));
         let base = FraigParams { conflict_budget: 3, shards: 4, ..FraigParams::default() };
-        let seq = fraig(&m, &FraigParams { threads: 1, ..base });
-        let par = fraig(&m, &FraigParams { threads: 4, ..base });
+        let seq = fraig(&m, &FraigParams { threads: 1, ..base.clone() });
+        let par = fraig(&m, &FraigParams { threads: 4, ..base.clone() });
         assert_identical(&seq, &par);
         prop_assert!(sim_equiv(&m, &par.aig, 8, 11));
     }
@@ -99,8 +99,20 @@ fn integrity_audited_parallel_sweep_collapses_adder_miter() {
         shards: 4,
         ..FraigParams::default()
     };
-    let seq = fraig(&m, &FraigParams { threads: 1, ..base });
-    let par = fraig(&m, &FraigParams { threads: 4, ..base });
+    let seq = fraig(
+        &m,
+        &FraigParams {
+            threads: 1,
+            ..base.clone()
+        },
+    );
+    let par = fraig(
+        &m,
+        &FraigParams {
+            threads: 4,
+            ..base.clone()
+        },
+    );
     assert_identical(&seq, &par);
     assert_eq!(
         par.aig.pos()[0],
@@ -124,6 +136,12 @@ fn auto_threads_match_sequential_under_pinned_shards() {
         ..FraigParams::default()
     };
     let auto = fraig(&m, &base);
-    let seq = fraig(&m, &FraigParams { threads: 1, ..base });
+    let seq = fraig(
+        &m,
+        &FraigParams {
+            threads: 1,
+            ..base.clone()
+        },
+    );
     assert_identical(&auto, &seq);
 }

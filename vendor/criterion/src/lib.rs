@@ -155,7 +155,12 @@ impl Criterion {
             mean_s: 0.0,
         };
         f(&mut b);
-        println!("{}  {:.3} ms/iter (n={})", id.label, b.mean_s * 1e3, samples);
+        println!(
+            "{}  {:.3} ms/iter (n={})",
+            id.label,
+            b.mean_s * 1e3,
+            samples
+        );
         self
     }
 }

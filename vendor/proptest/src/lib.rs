@@ -22,7 +22,10 @@ pub type TestRng = StdRng;
 
 /// Number of cases per property (env `PROPTEST_CASES`, default 32).
 pub fn cases() -> u32 {
-    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(32)
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
 }
 
 /// Builds the deterministic RNG for one case of one property.
